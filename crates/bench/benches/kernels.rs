@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the hot kernels behind every exhibit:
+//! KAK decomposition, Hamiltonian evolution, genAshN pulse solving,
+//! approximate-synthesis sweeps, and SABRE routing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reqisc_compiler::{route, RouteOptions, Router, Topology};
+use reqisc_microarch::{optimal_duration, solve_pulse, Coupling};
+use reqisc_qcircuit::{Circuit, Gate};
+use reqisc_qmath::{expm_i_hermitian, haar_su4, kak_decompose, weyl_coords, WeylCoord};
+use reqisc_synthesis::{instantiate, SweepOptions};
+use std::hint::black_box;
+
+fn bench_kak(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let us: Vec<_> = (0..32).map(|_| haar_su4(&mut rng)).collect();
+    let mut i = 0;
+    c.bench_function("kak_decompose_haar", |b| {
+        b.iter(|| {
+            i = (i + 1) % us.len();
+            black_box(kak_decompose(&us[i]).unwrap())
+        })
+    });
+}
+
+fn bench_expm(c: &mut Criterion) {
+    let h = Coupling::xy(1.0).hamiltonian();
+    c.bench_function("expm_4x4_hermitian", |b| {
+        b.iter(|| black_box(expm_i_hermitian(&h, 0.7)))
+    });
+}
+
+fn bench_duration(c: &mut Criterion) {
+    let cp = Coupling::xy(1.0);
+    let mut rng = StdRng::seed_from_u64(2);
+    let ws: Vec<WeylCoord> = (0..64)
+        .map(|_| weyl_coords(&haar_su4(&mut rng)).unwrap())
+        .collect();
+    let mut i = 0;
+    c.bench_function("optimal_duration", |b| {
+        b.iter(|| {
+            i = (i + 1) % ws.len();
+            black_box(optimal_duration(&ws[i], &cp))
+        })
+    });
+}
+
+fn bench_pulse_solve(c: &mut Criterion) {
+    let cp = Coupling::xy(1.0);
+    c.bench_function("genashn_solve_cnot_nd", |b| {
+        b.iter(|| black_box(solve_pulse(&cp, &WeylCoord::cnot()).unwrap()))
+    });
+    let xx = Coupling::xx(1.0);
+    let mut g = c.benchmark_group("genashn_solve_ea");
+    g.sample_size(10);
+    g.bench_function("swap_under_xx", |b| {
+        b.iter(|| black_box(solve_pulse(&xx, &WeylCoord::swap()).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_synthesis_sweep(c: &mut Criterion) {
+    let mut ccx = Circuit::new(3);
+    ccx.push(Gate::Ccx(0, 1, 2));
+    let target = ccx.unitary();
+    let structure = vec![(1usize, 2usize), (0, 2), (1, 2), (0, 2), (0, 1)];
+    let mut g = c.benchmark_group("synthesis");
+    g.sample_size(10);
+    g.bench_function("instantiate_ccx_5blocks", |b| {
+        b.iter(|| {
+            black_box(instantiate(&target, &structure, 3, &SweepOptions::default()).infidelity)
+        })
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut circ = Circuit::new(8);
+    use rand::Rng;
+    for _ in 0..60 {
+        let a = rng.gen_range(0..8);
+        let mut b = rng.gen_range(0..8);
+        while b == a {
+            b = rng.gen_range(0..8);
+        }
+        circ.push(Gate::Cx(a, b));
+    }
+    let topo = Topology::chain(8);
+    let mut g = c.benchmark_group("routing");
+    g.sample_size(20);
+    for router in [Router::Sabre, Router::MirroringSabre] {
+        let name = match router {
+            Router::Sabre => "sabre",
+            Router::MirroringSabre => "mirroring_sabre",
+        };
+        g.bench_function(name, |b| {
+            let mut o = RouteOptions::default();
+            o.router = router;
+            b.iter(|| black_box(route(&circ, &topo, &o).circuit.count_2q()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_kak,
+    bench_expm,
+    bench_duration,
+    bench_pulse_solve,
+    bench_synthesis_sweep,
+    bench_routing
+);
+criterion_main!(kernels);

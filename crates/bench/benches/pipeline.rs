@@ -1,0 +1,60 @@
+//! Criterion benches for end-to-end compilation throughput (the latency
+//! dimension of Fig. 16) and for the design-choice ablations DESIGN.md
+//! calls out: synthesis threshold `m_th` and the near-identity mirroring
+//! threshold `r`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reqisc_benchsuite::generators::{qaoa, ripple_add};
+use reqisc_compiler::{hierarchical_synthesis, Compiler, HsOptions, Pipeline};
+use reqisc_microarch::{solve_with_mirroring, Coupling};
+use reqisc_qmath::WeylCoord;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn compiler() -> &'static Compiler {
+    static C: OnceLock<Compiler> = OnceLock::new();
+    C.get_or_init(Compiler::new)
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let program = ripple_add(3);
+    let mut g = c.benchmark_group("compile_ripple_add_3");
+    g.sample_size(10);
+    for p in [Pipeline::Qiskit, Pipeline::Tket, Pipeline::ReqiscEff, Pipeline::ReqiscFull] {
+        g.bench_with_input(BenchmarkId::from_parameter(p.name()), &p, |b, &p| {
+            b.iter(|| black_box(compiler().compile(&program, p).count_2q()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mth_ablation(c: &mut Criterion) {
+    let program = qaoa(6, 2, 1);
+    let mut g = c.benchmark_group("ablation_m_th");
+    g.sample_size(10);
+    for m_th in [2usize, 4, 6] {
+        g.bench_with_input(BenchmarkId::from_parameter(m_th), &m_th, |b, &m_th| {
+            let mut o = HsOptions::default();
+            o.m_th = m_th;
+            o.search.sweep.restarts = 2;
+            b.iter(|| black_box(hierarchical_synthesis(&program, &o).count_2q()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mirror_threshold(c: &mut Criterion) {
+    let cp = Coupling::xy(1.0);
+    let w = WeylCoord::new(0.06, 0.03, 0.01);
+    let mut g = c.benchmark_group("ablation_mirror_threshold");
+    g.sample_size(10);
+    for r in [0.0f64, 0.15, 0.5] {
+        g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| black_box(solve_with_mirroring(&cp, &w, r).unwrap().pulse.tau))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(pipeline, bench_pipelines, bench_mth_ablation, bench_mirror_threshold);
+criterion_main!(pipeline);

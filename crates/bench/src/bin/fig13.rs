@@ -1,0 +1,47 @@
+//! Regenerates **Figure 13**: calibration efficiency — the number of
+//! *distinct* SU(4) instructions in ReQISC-Eff vs ReQISC-Full circuits,
+//! with the #2Q-reduction trade-off each pays for.
+//!
+//! Expected shape: Eff stays below ~10 distinct SU(4)s; Full stays bounded
+//! (≲ 200) with most programs below ~20.
+
+use reqisc_benchsuite::{scale_from_env, suite};
+use reqisc_compiler::{distinct_su4_count, Compiler, Pipeline};
+
+fn main() {
+    let compiler = Compiler::new();
+    println!("program,n2q_original,distinct_eff,n2q_eff,distinct_full,n2q_full");
+    let mut eff_counts = Vec::new();
+    let mut full_counts = Vec::new();
+    for b in suite(scale_from_env()) {
+        let orig = b.circuit.lowered_to_cx().count_2q();
+        if orig > 5000 {
+            continue; // paper caps this figure at #2Q ≤ 5000
+        }
+        let eff = compiler.compile(&b.circuit, Pipeline::ReqiscEff);
+        let full = compiler.compile(&b.circuit, Pipeline::ReqiscFull);
+        let de = distinct_su4_count(&eff, 1e-7);
+        let df = distinct_su4_count(&full, 1e-7);
+        eff_counts.push(de);
+        full_counts.push(df);
+        println!(
+            "{},{},{},{},{},{}",
+            b.name,
+            orig,
+            de,
+            eff.count_2q(),
+            df,
+            full.count_2q()
+        );
+        eprintln!("done {}", b.name);
+    }
+    let dist = |v: &[usize]| -> (usize, usize, f64) {
+        let max = v.iter().copied().max().unwrap_or(0);
+        let under20 = v.iter().filter(|&&x| x < 20).count();
+        (max, under20, under20 as f64 / v.len().max(1) as f64)
+    };
+    let (emax, _eu, efrac) = dist(&eff_counts);
+    let (fmax, _fu, ffrac) = dist(&full_counts);
+    println!("# eff: max distinct {emax}, fraction under 20 = {efrac:.2}");
+    println!("# full: max distinct {fmax}, fraction under 20 = {ffrac:.2}");
+}

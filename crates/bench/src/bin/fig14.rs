@@ -1,0 +1,47 @@
+//! Regenerates **Figure 14**: the ablation study — ReQISC-Full versus the
+//! baseline "-SU(4)" variants (Qiskit-SU(4), TKet-SU(4), BQSKit-SU(4)) and
+//! versus ReQISC-NC (no DAG compacting).
+//!
+//! Expected shape: ReQISC-Full ≥ every baseline variant on #2Q reduction;
+//! BQSKit-SU(4) competitive on count but with exploding distinct-SU(4)
+//! numbers; NC loses part of Full's reduction.
+
+use reqisc_bench::{metric, overall_reduction, run_benchmark, Record};
+use reqisc_benchsuite::mini_suite;
+use reqisc_compiler::{distinct_su4_count, Compiler, Pipeline};
+
+fn main() {
+    let compiler = Compiler::new();
+    let pipelines = [
+        Pipeline::QiskitSu4,
+        Pipeline::TketSu4,
+        Pipeline::BqskitSu4,
+        Pipeline::ReqiscNc,
+        Pipeline::ReqiscFull,
+    ];
+    let mut records: Vec<Record> = Vec::new();
+    println!("program,n2q_orig,qiskit_su4,tket_su4,bqskit_su4,reqisc_nc,reqisc_full,distinct_bqskit,distinct_full");
+    for b in mini_suite() {
+        let r = run_benchmark(&compiler, &b, &pipelines);
+        let bq = compiler.compile(&b.circuit, Pipeline::BqskitSu4);
+        let full = compiler.compile(&b.circuit, Pipeline::ReqiscFull);
+        println!(
+            "{},{},{},{},{},{},{},{},{}",
+            r.name,
+            r.original.count_2q,
+            r.compiled["qiskit-su4"].count_2q,
+            r.compiled["tket-su4"].count_2q,
+            r.compiled["bqskit-su4"].count_2q,
+            r.compiled["reqisc-nc"].count_2q,
+            r.compiled["reqisc-full"].count_2q,
+            distinct_su4_count(&bq, 1e-7),
+            distinct_su4_count(&full, 1e-7),
+        );
+        eprintln!("done {}", b.name);
+        records.push(r);
+    }
+    println!("# average #2Q reduction vs original (%):");
+    for p in ["qiskit-su4", "tket-su4", "bqskit-su4", "reqisc-nc", "reqisc-full"] {
+        println!("#   {p}: {:.2}", overall_reduction(&records, p, metric::count_2q));
+    }
+}

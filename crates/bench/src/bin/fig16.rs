@@ -1,0 +1,49 @@
+//! Regenerates **Figure 16**: compilation reliability and scalability.
+//!
+//! (a) Compilation error — the process infidelity between each compiled
+//!     circuit and its source program (computable up to ~10 qubits).
+//! (b) Compilation latency versus program size, per pipeline.
+//!
+//! Expected shape: every pipeline's error sits at numerical-precision
+//! scale; latency is polynomial with ReQISC-Eff fastest among the SU(4)
+//! flows and ReQISC-Full competitive with BQSKit-like synthesis.
+
+use reqisc_benchsuite::{scale_from_env, suite};
+use reqisc_compiler::{Compiler, Pipeline};
+use reqisc_qsim::{circuit_unitary, process_infidelity};
+use std::time::Instant;
+
+fn main() {
+    let compiler = Compiler::new();
+    let pipelines = [
+        Pipeline::Qiskit,
+        Pipeline::Tket,
+        Pipeline::BqskitSu4,
+        Pipeline::ReqiscEff,
+        Pipeline::ReqiscFull,
+    ];
+    println!("program,n_qubits,n2q_orig,pipeline,compile_ms,infidelity");
+    for b in suite(scale_from_env()) {
+        let n = b.circuit.num_qubits();
+        let orig2q = b.circuit.lowered_to_cx().count_2q();
+        if orig2q > 600 {
+            continue; // latency scan cap for the demo scale
+        }
+        let verify = n <= 9;
+        let orig_u = if verify { Some(circuit_unitary(&b.circuit.lowered_to_cx())) } else { None };
+        for &p in &pipelines {
+            let t0 = Instant::now();
+            let out = compiler.compile(&b.circuit, p);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let inf = match &orig_u {
+                Some(u) => {
+                    let v = circuit_unitary(&out);
+                    format!("{:.3e}", process_infidelity(u, &v))
+                }
+                None => "-".to_string(),
+            };
+            println!("{},{},{},{},{:.2},{}", b.name, n, orig2q, p.name(), ms, inf);
+        }
+        eprintln!("done {}", b.name);
+    }
+}

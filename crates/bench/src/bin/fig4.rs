@@ -1,0 +1,56 @@
+//! Regenerates **Figure 4**: the (α, β) solution landscape of the EA
+//! transcendental system for the SWAP gate under XX coupling, plus the
+//! roots found by the solver and the one selected (minimal |Ω|+|δ|).
+//!
+//! Output: a grid of the Weyl-coordinate residual over (α, β), then the
+//! converged roots. The paper's intersection curves (Re/Im of lhs−rhs)
+//! correspond to the zero set of this residual.
+
+use reqisc_microarch::{ea_params, residual, solve_ea, Coupling, EaSign};
+use reqisc_qmath::WeylCoord;
+use std::f64::consts::FRAC_PI_4;
+
+fn main() {
+    let cp = Coupling::xx(1.0);
+    let w = WeylCoord::swap();
+    // SWAP under XX: τ = (x+y+z)/(a+b+c) = 3π/4 binds (EA− in the main
+    // text's naming; the appendix calls this sector EA+ — see
+    // `reqisc_microarch::scheme` docs).
+    let tau = 3.0 * FRAC_PI_4;
+    let sign = EaSign::Minus;
+    let grid = 40usize;
+    let beta_max = 2.0;
+    println!("# residual grid: alpha,beta,weyl_residual");
+    for i in 0..=grid {
+        for j in 0..=grid {
+            let alpha = i as f64 / grid as f64;
+            let beta = beta_max * j as f64 / grid as f64;
+            let p = ea_params(&cp, sign, alpha, beta);
+            let r = residual(&cp, &p, tau, &w);
+            println!("{alpha:.4},{beta:.4},{r:.6e}");
+        }
+    }
+    println!("# converged roots (sorted by implementation penalty):");
+    println!("alpha,beta,omega1,omega2,delta,penalty,residual");
+    let sols = solve_ea(&cp, sign, &w, tau, 1e-8);
+    for s in &sols {
+        println!(
+            "{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3e}",
+            s.alpha,
+            s.beta,
+            s.params.omega1,
+            s.params.omega2,
+            s.params.delta,
+            s.params.penalty(),
+            s.residual
+        );
+    }
+    if let Some(best) = sols.first() {
+        println!(
+            "# selected: alpha={:.6} beta={:.6} (minimal pulse amplitudes)",
+            best.alpha, best.beta
+        );
+    } else {
+        println!("# WARNING: no root converged");
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Table 1**: benchmark suite characteristics — per category
+//! the qubit-count range, #2Q range, Depth2Q range, and original circuit
+//! duration range (CNOT-level, τ_CNOT = π/√2·g⁻¹).
+
+use reqisc_benchsuite::{category_programs, scale_from_env, ALL_CATEGORIES};
+use reqisc_compiler::metrics;
+use reqisc_microarch::Coupling;
+
+fn main() {
+    let scale = scale_from_env();
+    let cp = Coupling::xy(1.0);
+    println!("category,count,qubits_min,qubits_max,n2q_min,n2q_max,depth2q_min,depth2q_max,duration_min,duration_max");
+    let mut total = 0usize;
+    for cat in ALL_CATEGORIES {
+        let progs = category_programs(cat, scale);
+        total += progs.len();
+        let mut q = (usize::MAX, 0usize);
+        let mut n2 = (usize::MAX, 0usize);
+        let mut dp = (usize::MAX, 0usize);
+        let mut du = (f64::INFINITY, 0f64);
+        for b in &progs {
+            let lowered = b.circuit.lowered_to_cx();
+            let m = metrics(&lowered, &cp);
+            q = (q.0.min(b.circuit.num_qubits()), q.1.max(b.circuit.num_qubits()));
+            n2 = (n2.0.min(m.count_2q), n2.1.max(m.count_2q));
+            dp = (dp.0.min(m.depth_2q), dp.1.max(m.depth_2q));
+            du = (du.0.min(m.duration), du.1.max(m.duration));
+        }
+        println!(
+            "{},{},{},{},{},{},{},{},{:.1},{:.1}",
+            cat.name(),
+            progs.len(),
+            q.0,
+            q.1,
+            n2.0,
+            n2.1,
+            dp.0,
+            dp.1,
+            du.0,
+            du.1
+        );
+    }
+    println!("# total programs: {total}");
+}

@@ -1,0 +1,146 @@
+#![warn(missing_docs)]
+//! # reqisc-bench
+//!
+//! The benchmark harness: every table and figure of the paper's evaluation
+//! (§6) has one binary here that regenerates its rows/series (see
+//! DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured).
+//!
+//! Binaries: `table1`, `table2`, `table3`, `fig4`, `fig6`, `fig12`,
+//! `fig13`, `fig14`, `fig15`, `fig16`. All print CSV-ish text to stdout.
+//! Set `REQISC_SCALE=paper` for Table-1-sized inputs (slow).
+
+use reqisc_benchsuite::{Benchmark, Category};
+use reqisc_compiler::{metrics, Compiler, Metrics, Pipeline};
+use reqisc_microarch::Coupling;
+use std::collections::BTreeMap;
+
+/// Percentage reduction of `new` relative to `base` (positive = better).
+pub fn reduction_pct(base: f64, new: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        (1.0 - new / base) * 100.0
+    }
+}
+
+/// Geometric mean of positive values.
+pub fn geo_mean(vals: &[f64]) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    (vals.iter().map(|v| v.max(1e-12).ln()).sum::<f64>() / vals.len() as f64).exp()
+}
+
+/// Per-benchmark compilation record.
+pub struct Record {
+    /// Program name.
+    pub name: String,
+    /// Category.
+    pub category: Category,
+    /// Metrics of the original CNOT-level circuit.
+    pub original: Metrics,
+    /// Metrics per pipeline.
+    pub compiled: BTreeMap<&'static str, Metrics>,
+}
+
+/// Compiles one benchmark through the given pipelines and collects the
+/// §6.1.1 metrics (durations under XY coupling, CNOT baseline π/√2·g⁻¹).
+pub fn run_benchmark(compiler: &Compiler, b: &Benchmark, pipelines: &[Pipeline]) -> Record {
+    let cp = Coupling::xy(1.0);
+    let original = metrics(&b.circuit.lowered_to_cx(), &cp);
+    let mut compiled = BTreeMap::new();
+    for &p in pipelines {
+        let out = compiler.compile(&b.circuit, p);
+        compiled.insert(p.name(), metrics(&out, &cp));
+    }
+    Record { name: b.name.clone(), category: b.category, original, compiled }
+}
+
+/// Averages reduction rates per category for one metric.
+pub fn category_reductions(
+    records: &[Record],
+    pipeline: &'static str,
+    metric: fn(&Metrics) -> f64,
+) -> BTreeMap<Category, f64> {
+    let mut acc: BTreeMap<Category, (f64, usize)> = BTreeMap::new();
+    for r in records {
+        if let Some(m) = r.compiled.get(pipeline) {
+            let red = reduction_pct(metric(&r.original), metric(m));
+            let e = acc.entry(r.category).or_insert((0.0, 0));
+            e.0 += red;
+            e.1 += 1;
+        }
+    }
+    acc.into_iter().map(|(c, (s, n))| (c, s / n as f64)).collect()
+}
+
+/// Overall (all-program) average reduction for one metric.
+pub fn overall_reduction(
+    records: &[Record],
+    pipeline: &'static str,
+    metric: fn(&Metrics) -> f64,
+) -> f64 {
+    let vals: Vec<f64> = records
+        .iter()
+        .filter_map(|r| {
+            r.compiled
+                .get(pipeline)
+                .map(|m| reduction_pct(metric(&r.original), metric(m)))
+        })
+        .collect();
+    if vals.is_empty() {
+        0.0
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+/// Metric accessors for [`category_reductions`].
+pub mod metric {
+    use reqisc_compiler::Metrics;
+
+    /// #2Q as f64.
+    pub fn count_2q(m: &Metrics) -> f64 {
+        m.count_2q as f64
+    }
+
+    /// Depth2Q as f64.
+    pub fn depth_2q(m: &Metrics) -> f64 {
+        m.depth_2q as f64
+    }
+
+    /// Pulse duration.
+    pub fn duration(m: &Metrics) -> f64 {
+        m.duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_math() {
+        assert!((reduction_pct(100.0, 50.0) - 50.0).abs() < 1e-12);
+        assert_eq!(reduction_pct(0.0, 10.0), 0.0);
+        assert!((reduction_pct(10.0, 12.0) + 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn run_one_benchmark_end_to_end() {
+        let compiler = Compiler::new();
+        let b = reqisc_benchsuite::mini_suite().remove(0);
+        let r = run_benchmark(&compiler, &b, &[Pipeline::Qiskit, Pipeline::ReqiscEff]);
+        assert!(r.original.count_2q > 0);
+        let eff = r.compiled["reqisc-eff"];
+        let qk = r.compiled["qiskit"];
+        assert!(eff.count_2q <= r.original.count_2q);
+        assert!(qk.count_2q <= r.original.count_2q);
+    }
+}

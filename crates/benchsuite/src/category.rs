@@ -1,0 +1,123 @@
+//! The 17 benchmark categories of the paper's Table 1.
+
+use std::fmt;
+
+/// Benchmark program category (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Arithmetic-logic units (RevLib `alu-v*`).
+    Alu,
+    /// Carry-save / bitwise adders.
+    BitAdder,
+    /// Register comparators.
+    Comparator,
+    /// Encoder/decoder networks.
+    Encoding,
+    /// Grover search.
+    Grover,
+    /// Hidden-weighted-bit functions.
+    Hwb,
+    /// Modular arithmetic.
+    Modulo,
+    /// Multipliers.
+    Mult,
+    /// Phase-polynomial / product-formula programs.
+    Pf,
+    /// QAOA MaxCut ansätze.
+    Qaoa,
+    /// Quantum Fourier transforms.
+    Qft,
+    /// Cuccaro ripple-carry adders.
+    RippleAdd,
+    /// Squaring circuits.
+    Square,
+    /// Symmetric-function benchmarks.
+    Sym,
+    /// Toffoli ladders.
+    Tof,
+    /// UCCSD ansätze.
+    Uccsd,
+    /// Unstructured reversible functions.
+    Urf,
+}
+
+/// All categories in Table 1 order.
+pub const ALL_CATEGORIES: [Category; 17] = [
+    Category::Alu,
+    Category::BitAdder,
+    Category::Comparator,
+    Category::Encoding,
+    Category::Grover,
+    Category::Hwb,
+    Category::Modulo,
+    Category::Mult,
+    Category::Pf,
+    Category::Qaoa,
+    Category::Qft,
+    Category::RippleAdd,
+    Category::Square,
+    Category::Sym,
+    Category::Tof,
+    Category::Uccsd,
+    Category::Urf,
+];
+
+impl Category {
+    /// Table-style lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Category::Alu => "alu",
+            Category::BitAdder => "bit_adder",
+            Category::Comparator => "comparator",
+            Category::Encoding => "encoding",
+            Category::Grover => "grover",
+            Category::Hwb => "hwb",
+            Category::Modulo => "modulo",
+            Category::Mult => "mult",
+            Category::Pf => "pf",
+            Category::Qaoa => "qaoa",
+            Category::Qft => "qft",
+            Category::RippleAdd => "ripple_add",
+            Category::Square => "square",
+            Category::Sym => "sym",
+            Category::Tof => "tof",
+            Category::Uccsd => "uccsd",
+            Category::Urf => "urf",
+        }
+    }
+
+    /// Program type in the paper's sense: Type-I solves classical problems
+    /// via reversible logic; Type-II programs come from Hamiltonian
+    /// simulation / variational ansätze (§5.2.1).
+    pub fn is_type1(&self) -> bool {
+        !matches!(self, Category::Pf | Category::Qaoa | Category::Uccsd)
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_categories() {
+        assert_eq!(ALL_CATEGORIES.len(), 17);
+        let mut names: Vec<&str> = ALL_CATEGORIES.iter().map(Category::name).collect();
+        names.dedup();
+        assert_eq!(names.len(), 17);
+    }
+
+    #[test]
+    fn type_split() {
+        assert!(Category::Alu.is_type1());
+        assert!(Category::Qft.is_type1());
+        assert!(!Category::Qaoa.is_type1());
+        assert!(!Category::Uccsd.is_type1());
+        assert!(!Category::Pf.is_type1());
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! # reqisc-benchsuite
+//!
+//! Deterministic generators for the paper's 132-program, 17-category
+//! benchmark suite (Table 1). The original suite comes from RevLib and the
+//! TKet benchmarking repository; these generators rebuild the same program
+//! families from their published definitions (QFT, Cuccaro adders with
+//! MAJ/UMA, Grover, QAOA, Trotterized evolutions, Toffoli ladders, random
+//! reversible networks, …) at two scales.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use reqisc_benchsuite::{suite, Scale};
+//! let programs = suite(Scale::Demo);
+//! assert_eq!(programs.len(), 132);
+//! ```
+
+pub mod category;
+pub mod generators;
+pub mod suite;
+
+pub use category::{Category, ALL_CATEGORIES};
+pub use suite::{category_programs, mini_suite, scale_from_env, suite, Benchmark, Scale};

@@ -1,0 +1,266 @@
+//! The benchmark suite: 132 programs across the 17 categories of Table 1.
+//!
+//! Two scales are provided: [`Scale::Demo`] keeps every program small
+//! enough for full pipelines to run in seconds-to-minutes (the default for
+//! the bench binaries and tests), while [`Scale::Paper`] matches the size
+//! ranges of Table 1 (the paper's own full run takes hours).
+
+use crate::category::{Category, ALL_CATEGORIES};
+use crate::generators as g;
+use reqisc_qcircuit::Circuit;
+
+/// Suite scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small instances (CI-friendly).
+    Demo,
+    /// Table-1-range instances.
+    Paper,
+}
+
+/// One benchmark program.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Program name, e.g. `qft_8`.
+    pub name: String,
+    /// Its category.
+    pub category: Category,
+    /// The high-level circuit (CCX/MCX/Rzz-level IR).
+    pub circuit: Circuit,
+}
+
+impl Benchmark {
+    fn new(name: impl Into<String>, category: Category, circuit: Circuit) -> Self {
+        Self { name: name.into(), category, circuit }
+    }
+}
+
+/// Builds all programs of one category.
+pub fn category_programs(cat: Category, scale: Scale) -> Vec<Benchmark> {
+    let big = scale == Scale::Paper;
+    let mut v = Vec::new();
+    match cat {
+        Category::Alu => {
+            for k in 0..12u64 {
+                v.push(Benchmark::new(format!("alu_v{k}"), cat, g::alu(k)));
+            }
+        }
+        Category::BitAdder => {
+            let sizes: &[usize] = if big {
+                &[1, 1, 2, 2, 2, 3, 3, 3, 4, 4, 4, 5, 5]
+            } else {
+                &[1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4]
+            };
+            for (i, &b) in sizes.iter().enumerate() {
+                v.push(Benchmark::new(format!("bit_adder_{i}"), cat, g::bit_adder(b)));
+            }
+        }
+        Category::Comparator => {
+            for i in 0..19usize {
+                let bits = 2 + i % 2;
+                let mut c = g::comparator(bits);
+                // Variants: append a shifted second comparison round.
+                for _ in 0..(i / 4) {
+                    let extra = g::comparator(bits);
+                    c.extend(&extra);
+                }
+                v.push(Benchmark::new(format!("comparator_{i}"), cat, c));
+            }
+        }
+        Category::Encoding => {
+            for i in 0..9usize {
+                let n = 3 + i;
+                let depth = if big { 4 + i } else { 2 + i / 2 };
+                v.push(Benchmark::new(
+                    format!("encoding_{i}"),
+                    cat,
+                    g::encoding(n.min(10), depth, i as u64),
+                ));
+            }
+        }
+        Category::Grover => {
+            let (n, it) = if big { (5, 4) } else { (4, 2) };
+            v.push(Benchmark::new("grover_5", cat, g::grover(n, it)));
+        }
+        Category::Hwb => {
+            for i in 0..12usize {
+                let n = 4 + i % 4;
+                let scale_f = if big { 3 } else { 1 };
+                v.push(Benchmark::new(
+                    format!("hwb_{i}"),
+                    cat,
+                    g::reversible_network(n, (6 + 3 * i) * scale_f, 100 + i as u64),
+                ));
+            }
+        }
+        Category::Modulo => {
+            for i in 0..8usize {
+                v.push(Benchmark::new(format!("modulo_{i}"), cat, g::modulo(2 + i % 2, i as u64)));
+            }
+        }
+        Category::Mult => {
+            let sizes: &[usize] = if big { &[3, 4, 5] } else { &[2, 2, 3] };
+            for (i, &b) in sizes.iter().enumerate() {
+                v.push(Benchmark::new(format!("mult_{i}"), cat, g::mult(b)));
+            }
+        }
+        Category::Pf => {
+            for i in 0..9usize {
+                let n = 4 + i % 4;
+                let steps = if big { 6 + i } else { 2 + i % 3 };
+                v.push(Benchmark::new(format!("pf_{i}"), cat, g::pf(n, steps, i as u64)));
+            }
+        }
+        Category::Qaoa => {
+            for i in 0..9usize {
+                let n = if big { 8 + 2 * (i % 5) } else { 5 + i % 3 };
+                let layers = if big { 2 + i % 3 } else { 1 + i % 2 };
+                v.push(Benchmark::new(format!("qaoa_{i}"), cat, g::qaoa(n, layers, i as u64)));
+            }
+        }
+        Category::Qft => {
+            let sizes: &[usize] = if big { &[8, 16, 32] } else { &[4, 6, 8] };
+            for &n in sizes {
+                v.push(Benchmark::new(format!("qft_{n}"), cat, g::qft(n)));
+            }
+        }
+        Category::RippleAdd => {
+            let sizes: &[usize] = if big { &[5, 10, 20, 30] } else { &[2, 3, 4, 5] };
+            for &b in sizes {
+                v.push(Benchmark::new(format!("rip_add_{}", 2 * b + 2), cat, g::ripple_add(b)));
+            }
+        }
+        Category::Square => {
+            let sizes: &[usize] = if big { &[3, 4, 4] } else { &[2, 2, 3] };
+            for (i, &b) in sizes.iter().enumerate() {
+                v.push(Benchmark::new(format!("square_{i}"), cat, g::square(b)));
+            }
+        }
+        Category::Sym => {
+            for i in 0..6usize {
+                let inputs = if big { 6 + i } else { 4 + i % 3 };
+                v.push(Benchmark::new(format!("sym_{i}"), cat, g::sym(inputs, i as u64)));
+            }
+        }
+        Category::Tof => {
+            let sizes: &[usize] = if big { &[3, 5, 7, 10] } else { &[3, 4, 5, 6] };
+            for &k in sizes {
+                v.push(Benchmark::new(format!("tof_{k}"), cat, g::tof_ladder(k)));
+            }
+        }
+        Category::Uccsd => {
+            for i in 0..14usize {
+                let n = if big { 8 + 2 * (i % 4) } else { 4 + 2 * (i % 2) };
+                let reps = 1 + usize::from(big && i % 5 == 0);
+                v.push(Benchmark::new(format!("uccsd_{i}"), cat, g::uccsd(n, reps, i as u64)));
+            }
+        }
+        Category::Urf => {
+            let sizes: &[usize] = if big { &[3000, 5000, 8000] } else { &[120, 200, 320] };
+            for (i, &gc) in sizes.iter().enumerate() {
+                v.push(Benchmark::new(format!("urf_{i}"), cat, g::urf(8 + i, gc, i as u64)));
+            }
+        }
+    }
+    v
+}
+
+/// The full 132-program suite.
+pub fn suite(scale: Scale) -> Vec<Benchmark> {
+    ALL_CATEGORIES
+        .iter()
+        .flat_map(|&c| category_programs(c, scale))
+        .collect()
+}
+
+/// A small representative slice (one program per category) for tests and
+/// quick runs.
+pub fn mini_suite() -> Vec<Benchmark> {
+    ALL_CATEGORIES
+        .iter()
+        .map(|&c| category_programs(c, Scale::Demo).into_iter().next().unwrap())
+        .collect()
+}
+
+/// Reads the suite scale from the `REQISC_SCALE` environment variable
+/// (`paper` → [`Scale::Paper`], anything else → [`Scale::Demo`]).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("REQISC_SCALE").as_deref() {
+        Ok("paper") => Scale::Paper,
+        _ => Scale::Demo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_132_programs() {
+        let s = suite(Scale::Demo);
+        assert_eq!(s.len(), 132);
+    }
+
+    #[test]
+    fn category_counts_match_table1() {
+        let expect = [
+            (Category::Alu, 12),
+            (Category::BitAdder, 13),
+            (Category::Comparator, 19),
+            (Category::Encoding, 9),
+            (Category::Grover, 1),
+            (Category::Hwb, 12),
+            (Category::Modulo, 8),
+            (Category::Mult, 3),
+            (Category::Pf, 9),
+            (Category::Qaoa, 9),
+            (Category::Qft, 3),
+            (Category::RippleAdd, 4),
+            (Category::Square, 3),
+            (Category::Sym, 6),
+            (Category::Tof, 4),
+            (Category::Uccsd, 14),
+            (Category::Urf, 3),
+        ];
+        for (c, n) in expect {
+            assert_eq!(category_programs(c, Scale::Demo).len(), n, "{c}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let s = suite(Scale::Demo);
+        let mut names: Vec<&str> = s.iter().map(|b| b.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn all_programs_nonempty_and_multi_qubit() {
+        for b in suite(Scale::Demo) {
+            assert!(!b.circuit.is_empty(), "{} empty", b.name);
+            assert!(b.circuit.num_qubits() >= 2, "{} too narrow", b.name);
+            assert!(b.circuit.lowered_to_cx().count_2q() > 0, "{} trivial", b.name);
+        }
+    }
+
+    #[test]
+    fn paper_scale_is_larger() {
+        let d: usize = suite(Scale::Demo)
+            .iter()
+            .map(|b| b.circuit.lowered_to_cx().count_2q())
+            .sum();
+        let p: usize = suite(Scale::Paper)
+            .iter()
+            .map(|b| b.circuit.lowered_to_cx().count_2q())
+            .sum();
+        assert!(p > d);
+    }
+
+    #[test]
+    fn mini_suite_one_per_category() {
+        assert_eq!(mini_suite().len(), 17);
+    }
+}

@@ -1,0 +1,164 @@
+//! CNOT-based baseline compilers (paper §6.1.2).
+//!
+//! * **Qiskit-like O3**: lower to {1Q, CX}, consolidate 2Q blocks, and
+//!   re-synthesize each block into its minimal CNOT count
+//!   (Shende–Bullock–Markov) with exact 1Q dressing.
+//! * **TKet-like**: the same, preceded by a Pauli-gadget simplification
+//!   that merges commuting `Rzz` rotations (the `PauliSimp` effect on
+//!   Hamiltonian-evolution programs).
+
+use crate::compact::{compact, CompactOptions};
+use crate::fuse::{fuse_2q, push_u3};
+use reqisc_qcircuit::{Circuit, Gate};
+use reqisc_qmath::gates::cnot;
+use reqisc_synthesis::synthesize_to_cnots;
+
+/// Re-synthesizes every fused SU(4) block into minimal CNOTs + 1Q gates.
+///
+/// Blocks that fail the (never-failing in practice) core search are left
+/// as lowered 3-CNOT dressings of themselves via the general branch.
+pub fn resynthesize_to_cx(c: &Circuit) -> Circuit {
+    let fused = fuse_2q(c);
+    let mut out = Circuit::new(c.num_qubits());
+    for g in fused.gates() {
+        match g {
+            Gate::Su4(a, b, m) => emit_cx_block(&mut out, *a, *b, m),
+            Gate::Can(a, b, w) => {
+                let m = reqisc_qmath::gates::canonical_gate(w.x, w.y, w.z);
+                emit_cx_block(&mut out, *a, *b, &m);
+            }
+            other if other.is_2q() && !matches!(other, Gate::Cx(..)) => {
+                let qs = other.qubits();
+                emit_cx_block(&mut out, qs[0], qs[1], &other.matrix());
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+fn emit_cx_block(out: &mut Circuit, a: usize, b: usize, m: &reqisc_qmath::CMat) {
+    match synthesize_to_cnots(m) {
+        Ok((r, _k)) => {
+            for (qs, g) in &r.slots {
+                match qs.len() {
+                    1 => {
+                        let q = if qs[0] == 0 { a } else { b };
+                        push_u3(q, g, out);
+                    }
+                    _ => {
+                        debug_assert!(g.approx_eq(&cnot(), 1e-9));
+                        let (c0, c1) = (qs[0], qs[1]);
+                        let (qa, qb) = (
+                            if c0 == 0 { a } else { b },
+                            if c1 == 0 { a } else { b },
+                        );
+                        out.push(Gate::Cx(qa, qb));
+                    }
+                }
+            }
+        }
+        Err(_) => {
+            // Should not happen for unitary blocks; keep the block.
+            out.push(Gate::Su4(a, b, Box::new(m.clone())));
+        }
+    }
+}
+
+/// The Qiskit-like O3 pipeline: lower, consolidate, min-CNOT resynthesis.
+pub fn qiskit_like(c: &Circuit) -> Circuit {
+    let lowered = c.lowered_to_cx();
+    resynthesize_to_cx(&lowered)
+}
+
+/// Merges commuting `Rzz` rotations on the same pair (PauliSimp-lite).
+pub fn merge_pauli_rotations(c: &Circuit) -> Circuit {
+    let merged = compact(
+        c,
+        &CompactOptions { tol: 1e-10, window: 64, max_passes: 4 },
+    );
+    merged
+}
+
+/// The TKet-like pipeline: Pauli-gadget simplification, then the standard
+/// lowering + consolidation + resynthesis.
+pub fn tket_like(c: &Circuit) -> Circuit {
+    let simplified = merge_pauli_rotations(c);
+    qiskit_like(&simplified)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqisc_qsim::process_infidelity;
+
+    fn check_equiv(a: &Circuit, b: &Circuit) {
+        let inf = process_infidelity(&a.unitary(), &b.unitary());
+        assert!(inf < 1e-7, "not equivalent: infidelity {inf}");
+    }
+
+    #[test]
+    fn qiskit_like_cancels_redundancy() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::H(0));
+        let q = qiskit_like(&c);
+        assert_eq!(q.count_2q(), 0);
+        check_equiv(&c, &q);
+    }
+
+    #[test]
+    fn qiskit_like_minimizes_block_cnots() {
+        // Three CNOTs same pair with interleaved 1Q: block is one SU(4);
+        // generic class costs at most 3, often less.
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Rz(1, 0.7));
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Rz(1, -0.2));
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(0, 1)); // cancels with previous
+        let q = qiskit_like(&c);
+        assert!(q.count_2q() <= 2, "got {}", q.count_2q());
+        check_equiv(&c, &q);
+    }
+
+    #[test]
+    fn toffoli_stays_six_cnots() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Ccx(0, 1, 2));
+        let q = qiskit_like(&c);
+        // Qiskit-like has no 3Q synthesis: CCX costs 6 CNOTs (2Q blocks on
+        // distinct pairs cannot merge).
+        assert_eq!(q.count_2q(), 6);
+        check_equiv(&c, &q);
+    }
+
+    #[test]
+    fn tket_like_merges_rzz_chains() {
+        // Trotterized evolution: repeated Rzz on the same pairs, fully
+        // commuting — TKet-like merges them, Qiskit-like alone does too
+        // via fusion, but TKet also merges across interleavings.
+        let mut c = Circuit::new(3);
+        for _ in 0..3 {
+            c.push(Gate::Rzz(0, 1, 0.2));
+            c.push(Gate::Rzz(1, 2, 0.4));
+        }
+        let t = tket_like(&c);
+        let q = qiskit_like(&c);
+        assert!(t.count_2q() <= q.count_2q());
+        // Each merged Rzz class needs ≤ 2 CNOTs.
+        assert!(t.count_2q() <= 4, "got {}", t.count_2q());
+        check_equiv(&c, &t);
+    }
+
+    #[test]
+    fn swap_costs_three() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Swap(0, 1));
+        let q = qiskit_like(&c);
+        assert_eq!(q.count_2q(), 3);
+        check_equiv(&c, &q);
+    }
+}

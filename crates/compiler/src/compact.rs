@@ -1,0 +1,249 @@
+//! The DAG-compacting pass (paper §5.1.3, Fig. 8).
+//!
+//! Exploits (approximately) commuting SU(4) neighbours to move blocks
+//! together: when an `Su4` on pair `p` can slide right past every
+//! intervening gate it overlaps (commutation checked numerically on the
+//! joint qubit space) until it reaches another `Su4` on the same pair, the
+//! two fuse into one — raising the partition *compactness* and cutting
+//! #SU(4) directly.
+
+use reqisc_qcircuit::{embed, Circuit, Gate};
+use reqisc_qmath::CMat;
+
+/// Options for [`compact`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompactOptions {
+    /// Commutator tolerance: gates with `max|AB−BA| ≤ tol` are treated as
+    /// commuting. `1e-9` keeps compilation error at machine scale; larger
+    /// values trade fidelity for compactness (the paper's "approximate
+    /// commutation").
+    pub tol: f64,
+    /// How far ahead to search for a fusion partner.
+    pub window: usize,
+    /// Maximum full passes.
+    pub max_passes: usize,
+}
+
+impl Default for CompactOptions {
+    fn default() -> Self {
+        Self { tol: 1e-9, window: 24, max_passes: 4 }
+    }
+}
+
+fn unordered(a: usize, b: usize) -> (usize, usize) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// True when gates `g1`, `g2` commute on their joint qubit space.
+pub fn gates_commute(g1: &Gate, g2: &Gate, tol: f64) -> bool {
+    let q1 = g1.qubits();
+    let q2 = g2.qubits();
+    let mut joint: Vec<usize> = q1.iter().chain(q2.iter()).copied().collect();
+    joint.sort_unstable();
+    joint.dedup();
+    if joint.len() == q1.len() + q2.len() {
+        return true; // disjoint supports always commute
+    }
+    if joint.len() > 4 {
+        return false; // too big to check cheaply; be conservative
+    }
+    // Re-index onto the joint space.
+    let local = |qs: &[usize]| -> Vec<usize> {
+        qs.iter().map(|q| joint.iter().position(|j| j == q).unwrap()).collect()
+    };
+    let n = joint.len();
+    let a = embed(&g1.matrix(), &local(&q1), n);
+    let b = embed(&g2.matrix(), &local(&q2), n);
+    let comm = &a.mul_mat(&b) - &b.mul_mat(&a);
+    comm.max_dist(&CMat::zeros(1 << n, 1 << n)) <= tol
+}
+
+/// Runs the DAG-compacting pass on a fused (`U3`/`Su4`) circuit.
+///
+/// The output is unitarily equivalent to the input whenever `tol` is at
+/// machine scale; with a loose `tol` the deviation is bounded by the sum of
+/// accepted commutator norms.
+pub fn compact(c: &Circuit, opts: &CompactOptions) -> Circuit {
+    let mut gates: Vec<Gate> = c.gates().to_vec();
+    for _pass in 0..opts.max_passes {
+        let mut changed = false;
+        let mut i = 0;
+        while i < gates.len() {
+            if let Some(pair_i) = two_qubit_pair(&gates[i]) {
+                if let Some(j) = find_fusion_partner(&gates, i, pair_i, opts) {
+                    // Slide gate i next to j and fuse (i applied first).
+                    let gi = gates.remove(i);
+                    // Removing i shifts j down by one.
+                    let j = j - 1;
+                    let fused = fuse_pair(&gi, &gates[j]);
+                    gates[j] = fused;
+                    changed = true;
+                    continue; // re-examine position i
+                }
+            }
+            i += 1;
+        }
+        if !changed {
+            break;
+        }
+    }
+    Circuit::from_gates(c.num_qubits(), gates)
+}
+
+fn two_qubit_pair(g: &Gate) -> Option<(usize, usize)> {
+    if g.is_2q() {
+        let q = g.qubits();
+        Some(unordered(q[0], q[1]))
+    } else {
+        None
+    }
+}
+
+/// Finds the nearest later `Su4`-fusible gate on the same pair such that
+/// every intervening overlapping gate commutes with gate `i`.
+fn find_fusion_partner(
+    gates: &[Gate],
+    i: usize,
+    pair: (usize, usize),
+    opts: &CompactOptions,
+) -> Option<usize> {
+    let end = (i + 1 + opts.window).min(gates.len());
+    for (j, gate_j) in gates.iter().enumerate().take(end).skip(i + 1) {
+        if two_qubit_pair(gate_j) == Some(pair) {
+            // All gates strictly between must commute with gate i if they
+            // overlap it.
+            let ok = gates[i + 1..j].iter().all(|mid| {
+                let overlap = mid.qubits().iter().any(|q| pair == unordered(*q, *q) || *q == pair.0 || *q == pair.1);
+                !overlap || gates_commute(&gates[i], mid, opts.tol)
+            });
+            return if ok { Some(j) } else { None };
+        }
+        // A non-commuting blocker on our pair that is not fusible ends the
+        // search early only if it overlaps and fails to commute; otherwise
+        // keep scanning.
+        let overlap = gate_j.qubits().iter().any(|q| *q == pair.0 || *q == pair.1);
+        if overlap && !gates_commute(&gates[i], gate_j, opts.tol) {
+            return None;
+        }
+    }
+    None
+}
+
+/// Fuses `first` then `second` (same unordered pair) into one `Su4`.
+fn fuse_pair(first: &Gate, second: &Gate) -> Gate {
+    let qf = first.qubits();
+    let qs = second.qubits();
+    let pair = unordered(qs[0], qs[1]);
+    let orient = |g: &Gate, q: &[usize]| -> CMat {
+        if (q[0], q[1]) == pair {
+            g.matrix()
+        } else {
+            let s = reqisc_qmath::gates::swap();
+            s.mul_mat(&g.matrix()).mul_mat(&s)
+        }
+    };
+    let m = orient(second, &qs).mul_mat(&orient(first, &qf));
+    Gate::Su4(pair.0, pair.1, Box::new(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuse::fuse_2q;
+    use reqisc_qsim::process_infidelity;
+
+    fn check_equiv(a: &Circuit, b: &Circuit) {
+        let inf = process_infidelity(&a.unitary(), &b.unitary());
+        assert!(inf < 1e-8, "not equivalent: infidelity {inf}");
+    }
+
+    #[test]
+    fn commuting_rzz_fuse_across_neighbour() {
+        // Rzz(0,1), Rzz(1,2), Rzz(0,1): diagonal gates all commute, so the
+        // outer pair fuses: 3 → 2 two-qubit gates.
+        let mut c = Circuit::new(3);
+        c.push(Gate::Rzz(0, 1, 0.3));
+        c.push(Gate::Rzz(1, 2, 0.5));
+        c.push(Gate::Rzz(0, 1, 0.7));
+        let k = compact(&c, &CompactOptions::default());
+        assert_eq!(k.count_2q(), 2);
+        check_equiv(&c, &k);
+    }
+
+    #[test]
+    fn non_commuting_blocks_stay() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(1, 2));
+        c.push(Gate::Cx(0, 1));
+        let k = compact(&c, &CompactOptions::default());
+        // CX(1,2) does not commute with CX(0,1) (shared qubit 1, and
+        // CX(0,1) writes X on 1): no fusion.
+        assert_eq!(k.count_2q(), 3);
+        check_equiv(&c, &k);
+    }
+
+    #[test]
+    fn disjoint_gates_are_transparent() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(2, 3));
+        c.push(Gate::Cx(0, 1));
+        let k = compact(&c, &CompactOptions::default());
+        assert_eq!(k.count_2q(), 2); // the two CX(0,1) cancel into... fuse
+        check_equiv(&c, &k);
+    }
+
+    #[test]
+    fn grover_like_pattern_improves_compactness() {
+        // The Fig. 8 pattern: SU(4)₁,₂ then SU(4)₂,₃ that commutes, then a
+        // 3Q-block boundary; compacting lets the SU(4)₁,₂ pair fuse.
+        let mut c = Circuit::new(3);
+        c.push(Gate::Rzz(0, 1, 0.4));
+        c.push(Gate::Rzz(1, 2, 0.9));
+        c.push(Gate::Rzz(0, 1, -0.2));
+        c.push(Gate::Rzz(1, 2, 0.1));
+        let k = compact(&c, &CompactOptions::default());
+        assert_eq!(k.count_2q(), 2);
+        check_equiv(&c, &k);
+    }
+
+    #[test]
+    fn respects_one_qubit_gates() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Rz(0, 0.3)); // commutes with CX control
+        c.push(Gate::Cx(0, 1));
+        let k = compact(&fuse_2q(&c), &CompactOptions::default());
+        // fuse_2q already merges everything here.
+        assert!(k.count_2q() <= 1);
+        check_equiv(&c, &k);
+    }
+
+    #[test]
+    fn pass_is_equivalence_preserving_on_mixed_circuit() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::Rzz(0, 1, 0.2));
+        c.push(Gate::H(2));
+        c.push(Gate::Rzz(2, 3, 0.8));
+        c.push(Gate::Rzz(1, 2, 0.5));
+        c.push(Gate::Rzz(0, 1, 0.9));
+        c.push(Gate::Cx(2, 3));
+        let k = compact(&c, &CompactOptions::default());
+        assert!(k.count_2q() <= c.count_2q());
+        check_equiv(&c, &k);
+    }
+
+    #[test]
+    fn commute_checker_basics() {
+        assert!(gates_commute(&Gate::Rzz(0, 1, 0.3), &Gate::Rzz(1, 2, 0.4), 1e-10));
+        assert!(!gates_commute(&Gate::Cx(0, 1), &Gate::Cx(1, 2), 1e-10));
+        assert!(gates_commute(&Gate::Cx(0, 1), &Gate::Cx(0, 2), 1e-10)); // share control
+        assert!(gates_commute(&Gate::Cx(0, 1), &Gate::Cx(2, 1), 1e-10)); // share target
+        assert!(gates_commute(&Gate::H(0), &Gate::X(1), 1e-10)); // disjoint
+    }
+}

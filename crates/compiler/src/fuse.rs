@@ -1,0 +1,284 @@
+//! Two-qubit block consolidation: the first tier of hierarchical synthesis
+//! (paper §5.1.2) and the "-SU(4)" appendix pass of the baselines.
+//!
+//! Scans a circuit and greedily fuses maximal runs of gates confined to one
+//! qubit pair (including interleaved 1Q gates) into single [`Gate::Su4`]
+//! blocks. Blocks that turn out to be local products are re-emitted as `U3`
+//! gates, and identity blocks vanish.
+
+use reqisc_qcircuit::{Circuit, Gate};
+use reqisc_qmath::gates::{swap, zyz_decompose};
+use reqisc_qmath::{kron_factor, CMat};
+
+/// One open fusion block on an (ordered) qubit pair.
+struct OpenBlock {
+    qubits: (usize, usize),
+    mat: CMat, // 4×4, qubits.0 as the most significant gate index
+}
+
+/// Fuses runs of 1Q/2Q gates on common pairs into `Su4` blocks.
+///
+/// Gates of arity ≥ 3 act as barriers (lower them first if undesired).
+/// The output contains only `U3`, `Su4` and the untouched ≥3Q gates, and is
+/// unitarily equivalent to the input.
+pub fn fuse_2q(c: &Circuit) -> Circuit {
+    let n = c.num_qubits();
+    let mut out = Circuit::new(n);
+    let mut pending: Vec<Option<CMat>> = vec![None; n]; // accumulated 1Q
+    let mut blocks: Vec<OpenBlock> = Vec::new();
+    let mut owner: Vec<Option<usize>> = vec![None; n]; // qubit -> block idx
+
+    for g in c.gates() {
+        match g.arity() {
+            1 => {
+                let q = g.qubits()[0];
+                let m = g.matrix();
+                if let Some(bi) = owner[q] {
+                    let blk = &mut blocks[bi];
+                    let side = blk.qubits.0 == q;
+                    blk.mat = reqisc_qmath::gates::embed_1q(&m, side).mul_mat(&blk.mat);
+                } else {
+                    pending[q] = Some(match pending[q].take() {
+                        Some(p) => m.mul_mat(&p),
+                        None => m,
+                    });
+                }
+            }
+            2 => {
+                let qs = g.qubits();
+                let (a, b) = (qs[0], qs[1]);
+                let same = owner[a].is_some() && owner[a] == owner[b];
+                if same {
+                    let bi = owner[a].unwrap();
+                    let blk = &mut blocks[bi];
+                    blk.mat = oriented(&g.matrix(), (a, b), blk.qubits).mul_mat(&blk.mat);
+                } else {
+                    close_qubits(&[a, b], &mut blocks, &mut owner, &mut out);
+                    // Open a new block seeded with any pending 1Q gates.
+                    let mut mat = g.matrix();
+                    if let Some(p) = pending[a].take() {
+                        mat = mat.mul_mat(&reqisc_qmath::gates::embed_1q(&p, true));
+                    }
+                    if let Some(p) = pending[b].take() {
+                        mat = mat.mul_mat(&reqisc_qmath::gates::embed_1q(&p, false));
+                    }
+                    let bi = free_slot(&mut blocks, OpenBlock { qubits: (a, b), mat });
+                    owner[a] = Some(bi);
+                    owner[b] = Some(bi);
+                }
+            }
+            _ => {
+                let qs = g.qubits();
+                close_qubits(&qs, &mut blocks, &mut owner, &mut out);
+                for &q in &qs {
+                    flush_pending(q, &mut pending, &mut out);
+                }
+                out.push(g.clone());
+            }
+        }
+    }
+    let all: Vec<usize> = (0..n).collect();
+    close_qubits(&all, &mut blocks, &mut owner, &mut out);
+    for q in 0..n {
+        flush_pending(q, &mut pending, &mut out);
+    }
+    out
+}
+
+fn free_slot(blocks: &mut Vec<OpenBlock>, blk: OpenBlock) -> usize {
+    blocks.push(blk);
+    blocks.len() - 1
+}
+
+fn oriented(m: &CMat, gate_pair: (usize, usize), block_pair: (usize, usize)) -> CMat {
+    if gate_pair == block_pair {
+        m.clone()
+    } else {
+        debug_assert_eq!((gate_pair.1, gate_pair.0), block_pair, "pair mismatch");
+        let s = swap();
+        s.mul_mat(m).mul_mat(&s)
+    }
+}
+
+fn close_qubits(
+    qs: &[usize],
+    blocks: &mut [OpenBlock],
+    owner: &mut [Option<usize>],
+    out: &mut Circuit,
+) {
+    let mut to_close: Vec<usize> = qs.iter().filter_map(|&q| owner[q]).collect();
+    to_close.sort_unstable();
+    to_close.dedup();
+    for bi in to_close {
+        let blk = &blocks[bi];
+        emit_block(blk.qubits, &blk.mat, out);
+        owner[blk.qubits.0] = None;
+        owner[blk.qubits.1] = None;
+    }
+}
+
+fn flush_pending(q: usize, pending: &mut [Option<CMat>], out: &mut Circuit) {
+    if let Some(m) = pending[q].take() {
+        push_u3(q, &m, out);
+    }
+}
+
+/// Emits a fused 4×4 block: nothing for identity, two `U3`s for local
+/// products, an `Su4` otherwise.
+fn emit_block(pair: (usize, usize), mat: &CMat, out: &mut Circuit) {
+    let tr = mat.trace();
+    if (1.0 - tr.abs() / 4.0) < 1e-12 {
+        return; // identity up to phase
+    }
+    if let Ok((_, a, b)) = kron_factor(mat, 1e-10) {
+        push_u3(pair.0, &a, out);
+        push_u3(pair.1, &b, out);
+        return;
+    }
+    out.push(Gate::Su4(pair.0, pair.1, Box::new(mat.clone())));
+}
+
+/// Emits a 2×2 unitary as a single `U3` (skipping identities).
+pub fn push_u3(q: usize, m: &CMat, out: &mut Circuit) {
+    if (1.0 - m.trace().abs() / 2.0) < 1e-12 {
+        return;
+    }
+    let (t, p, l, _gamma) = zyz_decompose(m);
+    out.push(Gate::U3(q, t, p, l));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqisc_qmath::weyl::WeylCoord;
+    use reqisc_qsim::process_infidelity;
+
+    fn check_equiv(a: &Circuit, b: &Circuit) {
+        let inf = process_infidelity(&a.unitary(), &b.unitary());
+        assert!(inf < 1e-9, "not equivalent: infidelity {inf}");
+    }
+
+    #[test]
+    fn fuses_adjacent_cnots() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::H(1));
+        c.push(Gate::Cx(0, 1));
+        let f = fuse_2q(&c);
+        assert_eq!(f.count_2q(), 1);
+        check_equiv(&c, &f);
+    }
+
+    #[test]
+    fn cancelling_cnots_vanish() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(0, 1));
+        let f = fuse_2q(&c);
+        assert_eq!(f.count_2q(), 0);
+        assert_eq!(f.len(), 0);
+        check_equiv(&c, &f);
+    }
+
+    #[test]
+    fn local_block_becomes_u3s() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::H(0));
+        c.push(Gate::T(1));
+        c.push(Gate::Cx(0, 1));
+        // CX·(H⊗T)·CX can stay entangling; instead use a genuinely local
+        // run: CX, CX then 1Q gates.
+        let mut c2 = Circuit::new(2);
+        c2.push(Gate::Cx(0, 1));
+        c2.push(Gate::Cx(0, 1));
+        c2.push(Gate::H(0));
+        c2.push(Gate::T(1));
+        let f2 = fuse_2q(&c2);
+        assert_eq!(f2.count_2q(), 0);
+        check_equiv(&c2, &f2);
+        let f = fuse_2q(&c);
+        check_equiv(&c, &f);
+    }
+
+    #[test]
+    fn different_pairs_break_blocks() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(1, 2));
+        c.push(Gate::Cx(0, 1));
+        let f = fuse_2q(&c);
+        assert_eq!(f.count_2q(), 3);
+        check_equiv(&c, &f);
+    }
+
+    #[test]
+    fn reversed_orientation_fuses() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(1, 0));
+        let f = fuse_2q(&c);
+        assert_eq!(f.count_2q(), 1);
+        check_equiv(&c, &f);
+    }
+
+    #[test]
+    fn pending_1q_seeds_block() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::T(1));
+        c.push(Gate::Cx(0, 1));
+        let f = fuse_2q(&c);
+        assert_eq!(f.count_2q(), 1);
+        check_equiv(&c, &f);
+    }
+
+    #[test]
+    fn trailing_1q_only() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::S(0));
+        c.push(Gate::X(1));
+        let f = fuse_2q(&c);
+        assert_eq!(f.count_2q(), 0);
+        assert!(f.len() <= 2);
+        check_equiv(&c, &f);
+    }
+
+    #[test]
+    fn ccx_is_barrier() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Ccx(0, 1, 2));
+        c.push(Gate::Cx(0, 1));
+        let f = fuse_2q(&c);
+        // The CCX prevents fusing the two CNOTs.
+        assert_eq!(f.count_2q(), 2);
+        assert!(f.gates().iter().any(|g| matches!(g, Gate::Ccx(..))));
+        check_equiv(&c, &f);
+    }
+
+    #[test]
+    fn can_gates_fuse_too() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Can(0, 1, WeylCoord::new(0.2, 0.1, 0.05)));
+        c.push(Gate::U3(0, 0.3, 0.1, -0.2));
+        c.push(Gate::Can(0, 1, WeylCoord::new(0.15, 0.1, -0.02)));
+        let f = fuse_2q(&c);
+        assert_eq!(f.count_2q(), 1);
+        check_equiv(&c, &f);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::H(1));
+        c.push(Gate::Cx(1, 2));
+        c.push(Gate::Cx(0, 1));
+        let f1 = fuse_2q(&c);
+        let f2 = fuse_2q(&f1);
+        assert_eq!(f1.count_2q(), f2.count_2q());
+        check_equiv(&f1, &f2);
+    }
+}

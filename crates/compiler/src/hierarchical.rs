@@ -1,0 +1,180 @@
+//! Hierarchical synthesis (paper §5.1.2, Fig. 7): 2Q fusion → DAG
+//! compacting → 3Q partitioning → conditional approximate synthesis of
+//! dense blocks.
+
+use crate::compact::{compact, CompactOptions};
+use crate::fuse::fuse_2q;
+use crate::partition::{partition_3q, Block, PartitionOptions};
+use reqisc_qcircuit::{Circuit, Gate};
+use reqisc_synthesis::{synthesize_if_shorter, SearchOptions};
+
+/// Options for [`hierarchical_synthesis`].
+#[derive(Debug, Clone)]
+pub struct HsOptions {
+    /// Synthesis threshold `m_th`: blocks with more 2Q gates than this are
+    /// re-synthesized (paper default 4).
+    pub m_th: usize,
+    /// Partitioning options (width `w = 3` by default).
+    pub partition: PartitionOptions,
+    /// Structure-search options for the approximate synthesis.
+    pub search: SearchOptions,
+    /// Whether the DAG-compacting pass runs (ablated as "ReQISC-NC").
+    pub compacting: bool,
+    /// DAG-compacting options.
+    pub compact: CompactOptions,
+}
+
+impl Default for HsOptions {
+    fn default() -> Self {
+        Self {
+            m_th: 4,
+            partition: PartitionOptions::default(),
+            search: SearchOptions::default(),
+            compacting: true,
+            compact: CompactOptions::default(),
+        }
+    }
+}
+
+/// Runs the full hierarchical-synthesis pass.
+///
+/// Input: any circuit of 1Q/2Q/CCX-ish gates (≥3Q gates are lowered to CX
+/// first). Output: an SU(4)-ISA circuit (`U3` + `Su4`) with reduced #SU(4).
+pub fn hierarchical_synthesis(c: &Circuit, opts: &HsOptions) -> Circuit {
+    // Tier 0: make everything ≤ 2Q and fuse into SU(4) blocks.
+    let lowered = c.lowered_to_cx();
+    let mut fused = fuse_2q(&lowered);
+    if opts.compacting {
+        fused = compact(&fused, &opts.compact);
+        // Compacting can produce adjacent same-pair blocks; re-fuse.
+        fused = fuse_2q(&fused);
+    }
+    // Tier 1: 3Q partitioning + conditional approximate synthesis.
+    let blocks = partition_3q(&fused, &opts.partition);
+    let mut out = Circuit::new(c.num_qubits());
+    for b in &blocks {
+        emit_block(&mut out, b, opts);
+    }
+    // Boundary fusion: blocks may abut on the same pair.
+    fuse_2q(&out)
+}
+
+fn emit_block(out: &mut Circuit, b: &Block, opts: &HsOptions) {
+    let count = b.count_2q();
+    if count > opts.m_th && b.qubits.len() >= 2 && b.qubits.len() <= 3 {
+        let target = b.unitary();
+        if let Some(syn) = synthesize_if_shorter(&target, b.qubits.len(), count, &opts.search) {
+            // Map the synthesized blocks back to global qubits.
+            for ((la, lb), m) in &syn.blocks {
+                out.push(Gate::Su4(b.qubits[*la], b.qubits[*lb], Box::new(m.clone())));
+            }
+            // Note: synthesis is exact up to a global phase only; the
+            // phase is physically irrelevant and ignored throughout.
+            return;
+        }
+    }
+    for g in &b.gates {
+        out.push(g.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqisc_qsim::process_infidelity;
+
+    fn check_equiv(a: &Circuit, b: &Circuit) {
+        let inf = process_infidelity(&a.unitary(), &b.unitary());
+        assert!(inf < 1e-7, "not equivalent: infidelity {inf}");
+    }
+
+    fn quick_opts() -> HsOptions {
+        let mut o = HsOptions::default();
+        o.search.sweep.restarts = 3;
+        o.search.sweep.max_sweeps = 200;
+        o.search.max_blocks = 6;
+        o
+    }
+
+    #[test]
+    fn reduces_dense_3q_blocks() {
+        // 8 CNOTs on 3 qubits in a dense pattern: HS must find ≤ 6 SU(4)s.
+        let mut c = Circuit::new(3);
+        for k in 0..4 {
+            c.push(Gate::Cx(0, 1));
+            c.push(Gate::H(1));
+            c.push(Gate::Cx(1, 2));
+            c.push(Gate::T(2));
+            if k % 2 == 0 {
+                c.push(Gate::Cx(0, 2));
+            }
+        }
+        let before_fused = fuse_2q(&c).count_2q();
+        let h = hierarchical_synthesis(&c, &quick_opts());
+        assert!(
+            h.count_2q() < before_fused,
+            "HS did not reduce: {} vs {}",
+            h.count_2q(),
+            before_fused
+        );
+        assert!(h.count_2q() <= 6);
+        check_equiv(&c, &h);
+    }
+
+    #[test]
+    fn ccx_input_is_lowered_and_synthesized() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Ccx(0, 1, 2));
+        c.push(Gate::Ccx(1, 0, 2));
+        let h = hierarchical_synthesis(&c, &quick_opts());
+        // CCX·CCX (commuted controls) = identity-ish? No: CCX(0,1,2) and
+        // CCX(1,0,2) are the same permutation, so the pair is the identity.
+        assert_eq!(h.count_2q(), 0, "double Toffoli should vanish");
+    }
+
+    #[test]
+    fn sparse_blocks_left_alone() {
+        let mut c = Circuit::new(5);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(2, 3));
+        c.push(Gate::Cx(3, 4));
+        let h = hierarchical_synthesis(&c, &quick_opts());
+        assert_eq!(h.count_2q(), 3);
+        check_equiv(&c, &h);
+    }
+
+    #[test]
+    fn alu_like_example_matches_paper_shape() {
+        // Fig. 7: a Toffoli-heavy circuit drops well below its CNOT count.
+        let mut c = Circuit::new(4);
+        c.push(Gate::Ccx(0, 1, 2));
+        c.push(Gate::Cx(2, 3));
+        c.push(Gate::Ccx(0, 1, 2));
+        c.push(Gate::H(3));
+        c.push(Gate::Ccx(1, 2, 3));
+        let cx_count = c.lowered_to_cx().count_2q();
+        let h = hierarchical_synthesis(&c, &quick_opts());
+        assert!(
+            h.count_2q() * 2 < cx_count * 2, // strictly fewer SU(4)s than CNOTs
+        );
+        assert!(h.count_2q() < cx_count);
+        check_equiv(&c, &h);
+    }
+
+    #[test]
+    fn nc_variant_never_better() {
+        // Without compacting the result can only be worse or equal.
+        let mut c = Circuit::new(3);
+        c.push(Gate::Rzz(0, 1, 0.3));
+        c.push(Gate::Rzz(1, 2, 0.5));
+        c.push(Gate::Rzz(0, 1, 0.7));
+        c.push(Gate::Rzz(1, 2, 0.2));
+        let full = hierarchical_synthesis(&c, &quick_opts());
+        let mut nc_opts = quick_opts();
+        nc_opts.compacting = false;
+        let nc = hierarchical_synthesis(&c, &nc_opts);
+        assert!(full.count_2q() <= nc.count_2q());
+        check_equiv(&c, &full);
+        check_equiv(&c, &nc);
+    }
+}

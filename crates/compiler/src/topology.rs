@@ -1,0 +1,178 @@
+//! Device topologies for qubit routing (paper §6.4: 1D chain and 2D grid).
+
+/// An undirected coupling graph over physical qubits.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    n: usize,
+    adj: Vec<Vec<usize>>,
+    dist: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Builds a topology from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or a disconnected graph.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n && a != b, "bad edge ({a},{b})");
+            if !adj[a].contains(&b) {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+        let dist = all_pairs_bfs(n, &adj);
+        for row in &dist {
+            for &d in row {
+                assert!(d < usize::MAX, "topology is disconnected");
+            }
+        }
+        Self { n, adj, dist }
+    }
+
+    /// A 1D chain `0–1–…–(n-1)`.
+    pub fn chain(n: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Self::from_edges(n, &edges)
+    }
+
+    /// A `rows × cols` 2D grid.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((i, i + 1));
+                }
+                if r + 1 < rows {
+                    edges.push((i, i + cols));
+                }
+            }
+        }
+        Self::from_edges(rows * cols, &edges)
+    }
+
+    /// A near-square grid with at least `n` sites.
+    pub fn grid_for(n: usize) -> Self {
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        Self::grid(rows.max(1), cols.max(1))
+    }
+
+    /// Fully connected topology (no routing needed).
+    pub fn all_to_all(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in a + 1..n {
+                edges.push((a, b));
+            }
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// Number of physical qubits.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the empty device.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Neighbours of physical qubit `p`.
+    pub fn neighbors(&self, p: usize) -> &[usize] {
+        &self.adj[p]
+    }
+
+    /// Shortest-path distance between two physical qubits.
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        self.dist[a][b]
+    }
+
+    /// True when `a` and `b` are directly coupled.
+    pub fn adjacent(&self, a: usize, b: usize) -> bool {
+        self.dist[a][b] == 1
+    }
+
+    /// All edges (each once, `a < b`).
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut e = Vec::new();
+        for a in 0..self.n {
+            for &b in &self.adj[a] {
+                if a < b {
+                    e.push((a, b));
+                }
+            }
+        }
+        e
+    }
+}
+
+fn all_pairs_bfs(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut dist = vec![vec![usize::MAX; n]; n];
+    for s in 0..n {
+        let mut queue = std::collections::VecDeque::new();
+        dist[s][s] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if dist[s][v] == usize::MAX {
+                    dist[s][v] = dist[s][u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_distances() {
+        let t = Topology::chain(5);
+        assert_eq!(t.distance(0, 4), 4);
+        assert_eq!(t.distance(2, 3), 1);
+        assert!(t.adjacent(1, 2));
+        assert!(!t.adjacent(0, 2));
+    }
+
+    #[test]
+    fn grid_distances() {
+        let t = Topology::grid(3, 3);
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.distance(0, 8), 4); // manhattan
+        assert_eq!(t.distance(4, 0), 2);
+        assert_eq!(t.neighbors(4).len(), 4);
+    }
+
+    #[test]
+    fn all_to_all_is_flat() {
+        let t = Topology::all_to_all(6);
+        for a in 0..6 {
+            for b in 0..6 {
+                if a != b {
+                    assert_eq!(t.distance(a, b), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_for_covers() {
+        let t = Topology::grid_for(7);
+        assert!(t.len() >= 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn rejects_disconnected() {
+        Topology::from_edges(4, &[(0, 1), (2, 3)]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Variational-program lowering (paper §5.3.1).
+//!
+//! Naïvely compiling a variational ansatz to parameter-dependent SU(4)s
+//! would demand recalibration on every parameter update. This pass rewrites
+//! an SU(4)-ISA circuit onto a *fixed* 2Q basis gate (SQiSW by default)
+//! with parameterized 1Q gates — which the PMW phase-shift protocol
+//! implements without explicit calibration — trading a bounded #2Q increase
+//! for constant experimental overhead.
+
+use crate::fuse::push_u3;
+use reqisc_qcircuit::{Circuit, Gate};
+use reqisc_qmath::gates::sqisw;
+use reqisc_qmath::CMat;
+use reqisc_synthesis::synthesize_with_basis;
+
+/// The fixed basis gates supported by the variational lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixedBasis {
+    /// √iSWAP (Huang et al.): Haar-average 2.21 applications.
+    Sqisw,
+    /// The B gate (Zhang et al.): any SU(4) in 2 applications.
+    BGate,
+}
+
+impl FixedBasis {
+    fn matrix(&self) -> CMat {
+        match self {
+            FixedBasis::Sqisw => sqisw(),
+            FixedBasis::BGate => reqisc_qmath::gates::b_gate(),
+        }
+    }
+
+    fn gate(&self, a: usize, b: usize) -> Gate {
+        match self {
+            FixedBasis::Sqisw => Gate::SqiSw(a, b),
+            FixedBasis::BGate => Gate::BGate(a, b),
+        }
+    }
+}
+
+/// Rewrites every 2Q gate of `c` into `basis` applications plus 1Q gates.
+///
+/// 2Q gates that fail to decompose within 3 applications (not observed for
+/// unitary inputs) are kept as-is. Gates of other arities pass through.
+pub fn to_fixed_basis(c: &Circuit, basis: FixedBasis) -> Circuit {
+    let bm = basis.matrix();
+    let mut out = Circuit::new(c.num_qubits());
+    for g in c.gates() {
+        if !g.is_2q() {
+            out.push(g.clone());
+            continue;
+        }
+        let qs = g.qubits();
+        match synthesize_with_basis(&g.matrix(), &bm, 3) {
+            Some(d) => {
+                for (slot_qs, m) in &d.slots {
+                    match slot_qs.len() {
+                        1 => push_u3(qs[slot_qs[0]], m, &mut out),
+                        _ => out.push(basis.gate(qs[slot_qs[0]], qs[slot_qs[1]])),
+                    }
+                }
+            }
+            None => out.push(g.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuse::fuse_2q;
+    use reqisc_qmath::weyl::WeylCoord;
+    use reqisc_qsim::process_infidelity;
+
+    #[test]
+    fn qaoa_layer_to_sqisw() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Rzz(0, 1, 0.37));
+        c.push(Gate::Rzz(1, 2, 0.91));
+        c.push(Gate::Rx(0, 0.4));
+        let v = to_fixed_basis(&c, FixedBasis::Sqisw);
+        // Every 2Q gate is now the fixed basis gate.
+        assert!(v
+            .gates()
+            .iter()
+            .filter(|g| g.is_2q())
+            .all(|g| matches!(g, Gate::SqiSw(..))));
+        // Rzz is in the 2-SQiSW polytope: 2 applications each.
+        assert_eq!(v.count_2q(), 4);
+        let inf = process_infidelity(&c.unitary(), &v.unitary());
+        assert!(inf < 1e-7, "infidelity {inf}");
+    }
+
+    #[test]
+    fn su4_blocks_decompose_to_b_basis() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Can(0, 1, WeylCoord::new(0.5, 0.3, 0.1)));
+        let v = to_fixed_basis(&c, FixedBasis::BGate);
+        assert!(v
+            .gates()
+            .iter()
+            .filter(|g| g.is_2q())
+            .all(|g| matches!(g, Gate::BGate(..))));
+        assert!(v.count_2q() <= 2);
+        let inf = process_infidelity(&c.unitary(), &v.unitary());
+        assert!(inf < 1e-7, "infidelity {inf}");
+    }
+
+    #[test]
+    fn parameter_update_changes_only_1q_gates() {
+        // The §5.3.1 point: when the variational parameter moves, the 2Q
+        // layer structure is unchanged — only U3 parameters differ.
+        let mk = |theta: f64| {
+            let mut c = Circuit::new(2);
+            c.push(Gate::Rzz(0, 1, theta));
+            to_fixed_basis(&fuse_2q(&c), FixedBasis::Sqisw)
+        };
+        let a = mk(0.3);
+        let b = mk(0.8);
+        let shape = |c: &Circuit| -> Vec<(&'static str, Vec<usize>)> {
+            c.gates().iter().map(|g| (g.name(), g.qubits())).collect()
+        };
+        assert_eq!(shape(&a), shape(&b), "2Q skeleton must be parameter-independent");
+    }
+
+    #[test]
+    fn non_2q_gates_pass_through() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H(0));
+        c.push(Gate::Ccx(0, 1, 2));
+        let v = to_fixed_basis(&c, FixedBasis::Sqisw);
+        assert_eq!(v.len(), 2);
+    }
+}

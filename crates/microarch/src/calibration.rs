@@ -1,0 +1,299 @@
+//! Gate calibration (paper §4.5).
+//!
+//! The paper calibrates genAshN gates by (1) separately characterizing the
+//! coupling term and the drive transfer functions, (2) applying both parts
+//! simultaneously, measuring the realized Weyl coordinate via process
+//! tomography, and (3) tuning the control parameters to minimize the
+//! Euclidean distance to the target coordinates.
+//!
+//! This module reproduces that loop against a [`SimulatedDevice`] whose
+//! *true* coupling strength and drive transfer coefficients differ from the
+//! controller's nominal model — the controller only observes realized
+//! unitaries, exactly like an experiment.
+
+use crate::coupling::Coupling;
+use crate::solver::PulseParams;
+use reqisc_qmath::gates::{id2, pauli_x, pauli_z};
+use reqisc_qmath::weyl::WeylCoord;
+use reqisc_qmath::{expm_i_hermitian, weyl_coords, CMat, C64};
+
+/// A two-qubit device with imperfectly known parameters.
+///
+/// The controller programs nominal `(Ω₁, Ω₂, δ, τ)`; the device executes
+/// with `Ω_true = gain_omega·Ω + bias_omega` (per-channel), `δ_true =
+/// gain_delta·δ`, and its own true coupling.
+#[derive(Debug, Clone)]
+pub struct SimulatedDevice {
+    /// The true coupling Hamiltonian coefficients.
+    pub true_coupling: Coupling,
+    /// Multiplicative error on both drive amplitudes.
+    pub gain_omega: f64,
+    /// Additive drive offset (units of the coupling strength).
+    pub bias_omega: f64,
+    /// Multiplicative error on the detuning channel.
+    pub gain_delta: f64,
+}
+
+impl SimulatedDevice {
+    /// An ideal device (controller model exact).
+    pub fn ideal(cp: Coupling) -> Self {
+        Self { true_coupling: cp, gain_omega: 1.0, bias_omega: 0.0, gain_delta: 1.0 }
+    }
+
+    /// Executes a nominal pulse program and returns the realized unitary.
+    pub fn execute(&self, p: &PulseParams, tau: f64) -> CMat {
+        let tp = PulseParams {
+            omega1: self.gain_omega * p.omega1 + self.bias_omega,
+            omega2: self.gain_omega * p.omega2 + self.bias_omega,
+            delta: self.gain_delta * p.delta,
+        };
+        let x = pauli_x();
+        let z = pauli_z();
+        let h1 = &x.scale(C64::real(tp.omega1 + tp.omega2)) + &z.scale(C64::real(tp.delta));
+        let h2 = &x.scale(C64::real(tp.omega1 - tp.omega2)) + &z.scale(C64::real(tp.delta));
+        let h = &(&self.true_coupling.hamiltonian() + &h1.kron(&id2())) + &id2().kron(&h2);
+        expm_i_hermitian(&h, tau)
+    }
+
+    /// Simulated process tomography: the Weyl coordinates of the realized
+    /// gate (the paper measures these experimentally; here they are exact).
+    pub fn measure_coords(&self, p: &PulseParams, tau: f64) -> Option<WeylCoord> {
+        weyl_coords(&self.execute(p, tau)).ok()
+    }
+}
+
+/// The characterized device model produced by the first calibration stage.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceModel {
+    /// Estimated coupling strength `g` (assuming the nominal coupling
+    /// *shape*; the paper calibrates per family, e.g. iSWAP for XY).
+    pub g_est: f64,
+    /// Estimated drive gain.
+    pub gain_est: f64,
+}
+
+/// Stage 1 (paper: "the iSWAP-family component … and the drive components
+/// are separately calibrated"): estimate the coupling strength from
+/// drive-free evolutions of increasing duration, fitting the growth of the
+/// measured `x` coordinate.
+pub fn characterize_coupling(dev: &SimulatedDevice, shape: &Coupling) -> f64 {
+    // For drive-free evolution the Weyl x coordinate grows as a_true·t
+    // (folded into the chamber); use short times to stay in the linear
+    // regime: t chosen so x stays below π/4 for plausible couplings.
+    let zero = PulseParams { omega1: 0.0, omega2: 0.0, delta: 0.0 };
+    // Short probes keep the leading coordinate in its linear (unfolded)
+    // regime even when the true coupling is up to ~2× the nominal model.
+    let probe = 0.12 / shape.a.max(1e-9);
+    let mut slopes = Vec::new();
+    for k in 1..=2 {
+        let t = probe * k as f64;
+        if let Some(w) = dev.measure_coords(&zero, t) {
+            if w.x < std::f64::consts::FRAC_PI_4 * 0.9 {
+                slopes.push(w.x / t);
+            }
+        }
+    }
+    let a_est = slopes.iter().sum::<f64>() / slopes.len().max(1) as f64;
+    // Scale the nominal shape to the estimated leading coefficient.
+    a_est / shape.a * shape.strength()
+}
+
+/// Stage 1b: estimate the drive gain from a Rabi-style experiment — a
+/// symmetric drive of nominal amplitude Ω produces coordinate motion whose
+/// deviation from the drive-free case pins the transfer gain.
+pub fn characterize_drive_gain(dev: &SimulatedDevice, shape: &Coupling, g_est: f64) -> f64 {
+    // Strategy: for a strong symmetric drive (Ω ≫ g), the realized gate's
+    // local invariants depend on Ω_true·τ; we fit the gain by matching the
+    // first Weyl coordinate of the driven evolution against the
+    // controller's own model prediction as a function of the gain.
+    // A gentle drive keeps the coordinate response single-valued over the
+    // gain search range (strong drives fold the Weyl trajectory).
+    let omega = 1.2 * g_est.max(0.1);
+    let tau = 0.5 / g_est.max(0.1);
+    let p = PulseParams { omega1: omega, omega2: 0.0, delta: 0.0 };
+    let measured = match dev.measure_coords(&p, tau) {
+        Some(w) => w,
+        None => return 1.0,
+    };
+    // 1-D search over candidate gains with the nominal model.
+    let model = Coupling::new(
+        shape.a * g_est / shape.strength(),
+        shape.b * g_est / shape.strength(),
+        shape.c * g_est / shape.strength(),
+    );
+    let predict = |gain: f64| -> Option<WeylCoord> {
+        let mp = PulseParams { omega1: gain * omega, omega2: 0.0, delta: 0.0 };
+        let x = pauli_x();
+        let h1 = x.scale(C64::real(mp.omega1 + mp.omega2));
+        let h2 = x.scale(C64::real(mp.omega1 - mp.omega2));
+        let h = &(&model.hamiltonian() + &h1.kron(&id2())) + &id2().kron(&h2);
+        weyl_coords(&expm_i_hermitian(&h, tau)).ok()
+    };
+    let mut best = (f64::INFINITY, 1.0);
+    let mut lo = 0.5;
+    let mut hi = 2.0;
+    for _ in 0..3 {
+        let steps = 24;
+        for k in 0..=steps {
+            let gain = lo + (hi - lo) * k as f64 / steps as f64;
+            if let Some(w) = predict(gain) {
+                let d = w.dist(&measured);
+                if d < best.0 {
+                    best = (d, gain);
+                }
+            }
+        }
+        let span = (hi - lo) / steps as f64 * 2.0;
+        lo = (best.1 - span).max(0.01);
+        hi = best.1 + span;
+    }
+    best.1
+}
+
+/// Result of a full gate calibration.
+#[derive(Debug, Clone)]
+pub struct CalibratedGate {
+    /// Tuned control parameters.
+    pub params: PulseParams,
+    /// Interaction duration (from the calibrated model).
+    pub tau: f64,
+    /// Final Euclidean distance of the realized Weyl coordinates from the
+    /// target.
+    pub coord_error: f64,
+    /// Iterations of the fine-tuning loop used.
+    pub iterations: usize,
+}
+
+/// Stage 2–3: solve the pulse on the characterized model, then fine-tune
+/// `(Ω₁, Ω₂, δ)` against simulated tomography to minimize the coordinate
+/// distance (paper: "control parameters are tuned to minimize the
+/// Euclidean distance from target coordinates").
+///
+/// # Errors
+///
+/// Returns the underlying solver error when even the nominal model has no
+/// pulse solution.
+pub fn calibrate_gate(
+    dev: &SimulatedDevice,
+    shape: &Coupling,
+    target: &WeylCoord,
+) -> Result<CalibratedGate, crate::scheme::SolveError> {
+    let g_est = characterize_coupling(dev, shape);
+    let gain_est = characterize_drive_gain(dev, shape, g_est);
+    let model = Coupling::new(
+        shape.a * g_est / shape.strength(),
+        shape.b * g_est / shape.strength(),
+        shape.c * g_est / shape.strength(),
+    );
+    let nominal = crate::scheme::solve_pulse(&model, target)?;
+    // Initial estimate: compensate the estimated gain.
+    let mut p = PulseParams {
+        omega1: nominal.params.omega1 / gain_est,
+        omega2: nominal.params.omega2 / gain_est,
+        delta: nominal.params.delta,
+    };
+    let tau = nominal.tau;
+    let err_of = |p: &PulseParams| -> f64 {
+        dev.measure_coords(p, tau).map_or(1e3, |w| w.dist(target))
+    };
+    let mut err = err_of(&p);
+    let mut iterations = 0;
+    // Coordinate-descent fine-tuning with shrinking steps (a stand-in for
+    // the paper's XEB-based refinement; same objective).
+    let scale = g_est.max(0.1);
+    let mut step = 0.1 * scale;
+    while step > 1e-9 * scale && err > 1e-10 && iterations < 400 {
+        let mut improved = false;
+        for dim in 0..3 {
+            for sgn in [1.0, -1.0] {
+                let mut q = p;
+                match dim {
+                    0 => q.omega1 += sgn * step,
+                    1 => q.omega2 += sgn * step,
+                    _ => q.delta += sgn * step,
+                }
+                let e = err_of(&q);
+                iterations += 1;
+                if e < err {
+                    err = e;
+                    p = q;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            step *= 0.5;
+        }
+    }
+    Ok(CalibratedGate { params: p, tau, coord_error: err, iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn distorted_xy() -> SimulatedDevice {
+        SimulatedDevice {
+            true_coupling: Coupling::xy(1.07), // 7% coupling error
+            gain_omega: 0.93,
+            bias_omega: 0.004,
+            gain_delta: 1.05,
+        }
+    }
+
+    #[test]
+    fn coupling_characterization_recovers_g() {
+        let dev = distorted_xy();
+        let g = characterize_coupling(&dev, &Coupling::xy(1.0));
+        assert!((g - 1.07).abs() < 0.02, "g estimate {g}");
+    }
+
+    #[test]
+    fn drive_gain_characterization() {
+        let dev = distorted_xy();
+        let g = characterize_coupling(&dev, &Coupling::xy(1.0));
+        let gain = characterize_drive_gain(&dev, &Coupling::xy(1.0), g);
+        assert!((gain - 0.93).abs() < 0.1, "gain estimate {gain}");
+    }
+
+    #[test]
+    fn ideal_device_needs_no_tuning() {
+        let dev = SimulatedDevice::ideal(Coupling::xy(1.0));
+        let cal = calibrate_gate(&dev, &Coupling::xy(1.0), &WeylCoord::cnot()).unwrap();
+        assert!(cal.coord_error < 1e-7, "error {}", cal.coord_error);
+    }
+
+    #[test]
+    fn calibration_fixes_distorted_cnot() {
+        let dev = distorted_xy();
+        let shape = Coupling::xy(1.0);
+        let target = WeylCoord::cnot();
+        // Uncalibrated: solve on the nominal model and execute naively.
+        let naive = crate::scheme::solve_pulse(&shape, &target).unwrap();
+        let naive_err = dev
+            .measure_coords(&naive.params, naive.tau)
+            .map(|w| w.dist(&target))
+            .unwrap_or(1.0);
+        let cal = calibrate_gate(&dev, &shape, &target).unwrap();
+        assert!(
+            cal.coord_error < naive_err / 20.0,
+            "calibration didn't help: {} vs naive {}",
+            cal.coord_error,
+            naive_err
+        );
+        assert!(cal.coord_error < 2e-3, "residual coordinate error {}", cal.coord_error);
+    }
+
+    #[test]
+    fn calibration_works_for_su4_class() {
+        // An asymmetric SU(4) class (not a named gate).
+        let dev = distorted_xy();
+        let target = WeylCoord::new(0.6, 0.3, 0.1);
+        let target = reqisc_qmath::weyl_coords(&reqisc_qmath::gates::canonical_gate(
+            target.x, target.y, target.z,
+        ))
+        .unwrap();
+        let cal = calibrate_gate(&dev, &Coupling::xy(1.0), &target).unwrap();
+        assert!(cal.coord_error < 5e-3, "residual {}", cal.coord_error);
+    }
+}

@@ -1,0 +1,208 @@
+//! Optimal two-qubit gate durations (paper §4, Appendix A.1.3).
+//!
+//! Given canonical coupling coefficients `(a, b, c)` and a target Weyl
+//! coordinate `(x, y, z)`, the theoretically minimal evolution time under
+//! arbitrary local drives is `τ_opt = min(τ₁, τ₂)` where the two candidates
+//! correspond to realizing `(x, y, z)` directly or its mirror image
+//! `(π/2−x, y, −z)` (Hammerer–Vidal–Cirac bound, Theorem 1).
+
+use crate::coupling::Coupling;
+use reqisc_qmath::weyl::WeylCoord;
+use std::f64::consts::FRAC_PI_2;
+
+/// Which of the two Weyl-chamber images attains the optimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Image {
+    /// Realize `(x, y, z)` directly.
+    Direct,
+    /// Realize the locally-equivalent `(π/2−x, y, −z)`.
+    Mirrored,
+}
+
+/// The three frontier times of one image; the *maximum* is the binding
+/// constraint and identifies the subscheme (paper Algorithm 1, lines 3–6).
+#[derive(Debug, Clone, Copy)]
+pub struct FrontierTimes {
+    /// `τ₀ = x/a` — binding in the no-detuning (ND) region.
+    pub t0: f64,
+    /// `τ₊ = (x+y−z)/(a+b−c)` — binding in the EA+ region.
+    pub tp: f64,
+    /// `τ₋ = (x+y+z)/(a+b+c)` — binding in the EA− region.
+    pub tm: f64,
+}
+
+impl FrontierTimes {
+    /// Frontier times for coordinates `w` under coupling `cp`.
+    pub fn of(w: &WeylCoord, cp: &Coupling) -> Self {
+        Self {
+            t0: w.x / cp.a,
+            tp: (w.x + w.y - w.z) / (cp.a + cp.b - cp.c),
+            tm: (w.x + w.y + w.z) / (cp.a + cp.b + cp.c),
+        }
+    }
+
+    /// The binding (maximum) time.
+    pub fn max(&self) -> f64 {
+        self.t0.max(self.tp).max(self.tm)
+    }
+}
+
+/// The full duration decision: optimal time, chosen image, and the
+/// coordinates actually steered to (post-mirror if applicable).
+#[derive(Debug, Clone, Copy)]
+pub struct Duration {
+    /// Optimal gate time in the same units as `1/coupling coefficients`.
+    pub tau: f64,
+    /// Whether the mirror image was cheaper.
+    pub image: Image,
+    /// Coordinates to steer to (equals input for `Direct`).
+    pub effective: WeylCoord,
+    /// Frontier times of the chosen image.
+    pub frontier: FrontierTimes,
+}
+
+/// Computes the optimal gate duration for Weyl coordinates `w` under
+/// coupling `cp` (Algorithm 1 lines 3–11).
+///
+/// # Panics
+///
+/// Panics if `w` is not inside the canonical Weyl chamber.
+pub fn optimal_duration(w: &WeylCoord, cp: &Coupling) -> Duration {
+    assert!(w.in_chamber(), "coordinates {w} not canonical");
+    let direct = FrontierTimes::of(w, cp);
+    let mirrored_coords = WeylCoord::new(FRAC_PI_2 - w.x, w.y, -w.z);
+    let mirrored = FrontierTimes::of(&mirrored_coords, cp);
+    let t1 = direct.max();
+    let t2 = mirrored.max();
+    if t2 < t1 {
+        Duration { tau: t2, image: Image::Mirrored, effective: mirrored_coords, frontier: mirrored }
+    } else {
+        Duration { tau: t1, image: Image::Direct, effective: *w, frontier: direct }
+    }
+}
+
+/// Duration of a gate locally equivalent to `w`, in units of `g⁻¹`
+/// (normalized by the coupling strength).
+pub fn duration_in_g(w: &WeylCoord, cp: &Coupling) -> f64 {
+    optimal_duration(w, cp).tau * cp.strength()
+}
+
+/// Baseline CNOT pulse duration on conventional XY-coupled transmons:
+/// `π/√2·g⁻¹` (paper §4.4 / Krantz et al.).
+pub fn conventional_cnot_duration() -> f64 {
+    std::f64::consts::FRAC_PI_2 * std::f64::consts::SQRT_2
+}
+
+/// Conventional optimized pulse durations of named basis gates under XY
+/// coupling, in `g⁻¹` (paper Table 3 baselines).
+///
+/// Returns `None` for gates without a published conventional scheme.
+pub fn conventional_duration_xy(gate: &str) -> Option<f64> {
+    use std::f64::consts::PI;
+    match gate {
+        // CNOT via standard cross-resonance-style scheme: π/√2.
+        "cnot" | "cx" | "cz" => Some(PI / 2.0 * std::f64::consts::SQRT_2),
+        // iSWAP native on XY coupling: coordinates (π/4, π/4, 0) with both
+        // terms active: τ = (π/4+π/4)/(g/2+g/2) = π/2.
+        "iswap" => Some(PI / 2.0),
+        // SQiSW = half an iSWAP.
+        "sqisw" => Some(PI / 4.0),
+        "b" => Some(PI / 2.0),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_4, FRAC_PI_8, PI};
+
+    fn d_xy(w: WeylCoord) -> f64 {
+        duration_in_g(&w, &Coupling::xy(1.0))
+    }
+
+    /// Paper Fig. 6(a) table: durations in units of g⁻¹·π for XY coupling.
+    #[test]
+    fn fig6a_gate_durations_xy() {
+        let pi = PI;
+        let cases = [
+            (WeylCoord::sqisw(), 0.25 * pi),
+            (WeylCoord::iswap(), 0.50 * pi),
+            (WeylCoord::new(FRAC_PI_8 / 2.0, FRAC_PI_8 / 2.0, FRAC_PI_8 / 2.0), 0.1875 * pi), // QTSW
+            (WeylCoord::new(FRAC_PI_8, FRAC_PI_8, FRAC_PI_8), 0.375 * pi),                    // SQSW
+            (WeylCoord::swap(), 0.75 * pi),
+            (WeylCoord::new(FRAC_PI_8, 0.0, 0.0), 0.25 * pi), // CV
+            (WeylCoord::cnot(), 0.50 * pi),
+            (WeylCoord::b_gate(), 0.50 * pi),
+            (WeylCoord::ecp(), 0.50 * pi),
+            (WeylCoord::new(FRAC_PI_4, FRAC_PI_4, FRAC_PI_8), 0.625 * pi), // QFT2
+        ];
+        for (w, want) in cases {
+            let got = d_xy(w);
+            assert!(
+                (got - want).abs() < 1e-9,
+                "duration of {w}: got {got:.6}, want {want:.6}"
+            );
+        }
+    }
+
+    #[test]
+    fn cnot_speedup_over_conventional() {
+        // Our scheme: π/2·g⁻¹ vs conventional π/√2·g⁻¹ → 1.41x faster (§4.4).
+        let ours = d_xy(WeylCoord::cnot());
+        let conv = conventional_cnot_duration();
+        assert!((conv / ours - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_has_zero_duration() {
+        let d = optimal_duration(&WeylCoord::identity(), &Coupling::xy(1.0));
+        assert_eq!(d.tau, 0.0);
+        assert_eq!(d.image, Image::Direct);
+    }
+
+    #[test]
+    fn near_swap_prefers_mirror() {
+        // SWAP-like coords are cheaper via the mirrored image under XX
+        // coupling? SWAP = (π/4,π/4,π/4): direct t1 under XX (a=1,b=c=0):
+        // max(π/4, π/4+π/4-π/4, π/4+π/4+π/4) = 3π/4.
+        // mirror (π/4, π/4, -π/4): max(π/4, 3π/4, π/4) = 3π/4. Equal — use
+        // a skewed point instead.
+        let w = WeylCoord::new(0.1, 0.05, 0.02);
+        let cp = Coupling::xx(1.0);
+        let d = optimal_duration(&w, &cp);
+        assert_eq!(d.image, Image::Direct);
+        // SWAP under a strongly anisotropic coupling with c < 0: the direct
+        // image pays (x+y+z)/(a+b+c) with a tiny denominator, while the
+        // mirror (π/4, π/4, -π/4) moves the big numerator onto the big
+        // denominator — strictly cheaper.
+        let cp2 = Coupling::new(1.0, 1.0, -0.9);
+        let w2 = WeylCoord::swap();
+        let d2 = optimal_duration(&w2, &cp2);
+        assert_eq!(d2.image, Image::Mirrored);
+        assert!(d2.tau < FrontierTimes::of(&w2, &cp2).max());
+    }
+
+    #[test]
+    fn swap_duration_xx() {
+        // Under XX coupling SWAP costs 3π/4·g⁻¹ either way.
+        let d = duration_in_g(&WeylCoord::swap(), &Coupling::xx(1.0));
+        assert!((d - 0.75 * PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_scales_with_coupling() {
+        let w = WeylCoord::cnot();
+        let d1 = optimal_duration(&w, &Coupling::xy(1.0)).tau;
+        let d2 = optimal_duration(&w, &Coupling::xy(2.0)).tau;
+        assert!((d1 / d2 - 2.0).abs() < 1e-12);
+        // Normalized duration is coupling-strength invariant.
+        assert!((duration_in_g(&w, &Coupling::xy(1.0)) - duration_in_g(&w, &Coupling::xy(2.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not canonical")]
+    fn rejects_non_canonical() {
+        optimal_duration(&WeylCoord::new(1.0, 0.9, 0.8), &Coupling::xy(1.0));
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # reqisc-qcircuit
+//!
+//! The circuit intermediate representation of the ReQISC stack: the
+//! [`Gate`] set (conventional CNOT-based ISA, the SU(4) ISA `{Can, U3}`, and
+//! 3Q/multi-controlled IR primitives), the [`Circuit`] container with
+//! lowering and metrics, the dependency [`Dag`], and a compact text format.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use reqisc_qcircuit::{Circuit, Gate};
+//!
+//! let mut c = Circuit::new(3);
+//! c.push(Gate::H(0));
+//! c.push(Gate::Ccx(0, 1, 2));
+//! // Lower the Toffoli for a CNOT-based backend:
+//! let lowered = c.lowered_to_cx();
+//! assert_eq!(lowered.count_2q(), 6);
+//! // ...and the lowering is exact:
+//! assert!(lowered.unitary().approx_eq(&c.unitary(), 1e-12));
+//! ```
+
+pub mod circuit;
+pub mod dag;
+pub mod gate;
+pub mod qasm;
+
+pub use circuit::{embed, Circuit};
+pub use dag::Dag;
+pub use gate::Gate;
+pub use qasm::{emit, parse, ParseQasmError};

@@ -1,0 +1,241 @@
+//! A compact textual circuit format ("QASM-lite").
+//!
+//! The artifact of the paper ships benchmark programs as QASM/JSON; this
+//! module provides the equivalent serialization for our circuits so bench
+//! outputs can be inspected, diffed, and re-loaded.
+//!
+//! Format: first line `qubits N`, then one gate per line,
+//! `name q0 q1 … [params…]`, `#`-prefixed comments allowed.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use reqisc_qmath::weyl::WeylCoord;
+use std::fmt::Write as _;
+
+/// Serializes a circuit to QASM-lite.
+///
+/// [`Gate::Su4`] gates are emitted as their 16 complex entries on one line;
+/// everything else uses its mnemonic and parameters.
+pub fn emit(c: &Circuit) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "qubits {}", c.num_qubits());
+    for g in c.gates() {
+        match g {
+            Gate::Rx(q, t) | Gate::Ry(q, t) | Gate::Rz(q, t) => {
+                let _ = writeln!(s, "{} {} {:.17e}", g.name(), q, t);
+            }
+            Gate::U3(q, t, p, l) => {
+                let _ = writeln!(s, "u3 {} {:.17e} {:.17e} {:.17e}", q, t, p, l);
+            }
+            Gate::Rzz(a, b, t) => {
+                let _ = writeln!(s, "rzz {} {} {:.17e}", a, b, t);
+            }
+            Gate::Can(a, b, w) => {
+                let _ = writeln!(s, "can {} {} {:.17e} {:.17e} {:.17e}", a, b, w.x, w.y, w.z);
+            }
+            Gate::Su4(a, b, m) => {
+                let _ = write!(s, "su4 {} {}", a, b);
+                for i in 0..4 {
+                    for j in 0..4 {
+                        let v = m[(i, j)];
+                        let _ = write!(s, " {:.17e} {:.17e}", v.re, v.im);
+                    }
+                }
+                let _ = writeln!(s);
+            }
+            Gate::Mcx(cs, t) => {
+                let _ = write!(s, "mcx");
+                for q in cs {
+                    let _ = write!(s, " {}", q);
+                }
+                let _ = writeln!(s, " {}", t);
+            }
+            other => {
+                let _ = write!(s, "{}", other.name());
+                for q in other.qubits() {
+                    let _ = write!(s, " {}", q);
+                }
+                let _ = writeln!(s);
+            }
+        }
+    }
+    s
+}
+
+/// Error from [`parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseQasmError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseQasmError {}
+
+/// Parses QASM-lite text produced by [`emit`].
+///
+/// # Errors
+///
+/// Returns [`ParseQasmError`] on malformed headers, unknown mnemonics, or
+/// bad operands.
+pub fn parse(text: &str) -> Result<Circuit, ParseQasmError> {
+    let err = |line: usize, message: &str| ParseQasmError { line, message: message.to_string() };
+    let mut lines = text.lines().enumerate();
+    let (mut ln, mut header) = (0usize, "");
+    for (i, l) in lines.by_ref() {
+        let l = l.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        ln = i + 1;
+        header = l;
+        break;
+    }
+    let n: usize = header
+        .strip_prefix("qubits ")
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| err(ln, "expected 'qubits N' header"))?;
+    let mut c = Circuit::new(n);
+    for (i, raw) in lines {
+        let line = i + 1;
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let mut tok = l.split_whitespace();
+        let name = tok.next().unwrap();
+        let rest: Vec<&str> = tok.collect();
+        let q = |k: usize| -> Result<usize, ParseQasmError> {
+            rest.get(k)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err(line, "bad qubit operand"))
+        };
+        let f = |k: usize| -> Result<f64, ParseQasmError> {
+            rest.get(k)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err(line, "bad float operand"))
+        };
+        let g = match name {
+            "x" => Gate::X(q(0)?),
+            "y" => Gate::Y(q(0)?),
+            "z" => Gate::Z(q(0)?),
+            "h" => Gate::H(q(0)?),
+            "s" => Gate::S(q(0)?),
+            "sdg" => Gate::Sdg(q(0)?),
+            "t" => Gate::T(q(0)?),
+            "tdg" => Gate::Tdg(q(0)?),
+            "rx" => Gate::Rx(q(0)?, f(1)?),
+            "ry" => Gate::Ry(q(0)?, f(1)?),
+            "rz" => Gate::Rz(q(0)?, f(1)?),
+            "u3" => Gate::U3(q(0)?, f(1)?, f(2)?, f(3)?),
+            "cx" => Gate::Cx(q(0)?, q(1)?),
+            "cz" => Gate::Cz(q(0)?, q(1)?),
+            "swap" => Gate::Swap(q(0)?, q(1)?),
+            "iswap" => Gate::ISwap(q(0)?, q(1)?),
+            "sqisw" => Gate::SqiSw(q(0)?, q(1)?),
+            "b" => Gate::BGate(q(0)?, q(1)?),
+            "rzz" => Gate::Rzz(q(0)?, q(1)?, f(2)?),
+            "can" => Gate::Can(q(0)?, q(1)?, WeylCoord::new(f(2)?, f(3)?, f(4)?)),
+            "su4" => {
+                if rest.len() != 2 + 32 {
+                    return Err(err(line, "su4 expects 2 qubits + 32 floats"));
+                }
+                let mut m = reqisc_qmath::CMat::zeros(4, 4);
+                for i2 in 0..4 {
+                    for j2 in 0..4 {
+                        let base = 2 + 2 * (i2 * 4 + j2);
+                        m[(i2, j2)] = reqisc_qmath::C64::new(f(base)?, f(base + 1)?);
+                    }
+                }
+                Gate::Su4(q(0)?, q(1)?, Box::new(m))
+            }
+            "ccx" => Gate::Ccx(q(0)?, q(1)?, q(2)?),
+            "peres" => Gate::Peres(q(0)?, q(1)?, q(2)?),
+            "mcx" => {
+                if rest.len() < 2 {
+                    return Err(err(line, "mcx expects at least control+target"));
+                }
+                let mut qs = Vec::with_capacity(rest.len());
+                for k in 0..rest.len() {
+                    qs.push(q(k)?);
+                }
+                let t = qs.pop().unwrap();
+                Gate::Mcx(qs, t)
+            }
+            other => return Err(err(line, &format!("unknown gate '{other}'"))),
+        };
+        for qq in g.qubits() {
+            if qq >= n {
+                return Err(err(line, "qubit index out of range"));
+            }
+        }
+        c.push(g);
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqisc_qmath::gates::b_gate;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.push(Gate::H(0));
+        c.push(Gate::U3(1, 0.1, -0.2, 0.3));
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Rzz(1, 2, 0.7));
+        c.push(Gate::Can(2, 3, WeylCoord::new(0.3, 0.2, -0.1)));
+        c.push(Gate::Su4(0, 3, Box::new(b_gate())));
+        c.push(Gate::Ccx(0, 1, 2));
+        c.push(Gate::Mcx(vec![0, 1, 2], 3));
+        c
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = sample();
+        let text = emit(&c);
+        let back = parse(&text).expect("parse");
+        assert_eq!(back.num_qubits(), 4);
+        assert_eq!(back.len(), c.len());
+        // Structural equality gate by gate.
+        for (a, b) in c.gates().iter().zip(back.gates()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.qubits(), b.qubits());
+        }
+        // Unitary equality (captures parameters and matrices exactly).
+        assert!(back.unitary().approx_eq(&c.unitary(), 1e-12));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let text = "# a comment\n\nqubits 2\n# another\nh 0\ncx 0 1\n";
+        let c = parse(text).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let e = parse("qubits 1\nfrobnicate 0\n").unwrap_err();
+        assert!(e.message.contains("unknown gate"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(parse("qubits 1\ncx 0 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(parse("h 0\n").is_err());
+    }
+}

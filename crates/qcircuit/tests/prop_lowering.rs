@@ -1,0 +1,103 @@
+//! Property tests: gate lowering and embedding are exact on random
+//! circuits, cross-checked between the dense embedding and the
+//! state-vector simulator.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reqisc_qcircuit::{Circuit, Gate};
+use reqisc_qsim::{circuit_unitary, process_infidelity, StateVector};
+
+fn random_high_level(n: usize, len: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..len {
+        match rng.gen_range(0..6) {
+            0 => c.push(Gate::H(rng.gen_range(0..n))),
+            1 => {
+                let (a, b) = pick2(&mut rng, n);
+                c.push(Gate::Rzz(a, b, 0.7));
+            }
+            2 => {
+                let (a, b) = pick2(&mut rng, n);
+                c.push(Gate::Swap(a, b));
+            }
+            3 if n >= 3 => {
+                let qs = pick3(&mut rng, n);
+                c.push(Gate::Ccx(qs[0], qs[1], qs[2]));
+            }
+            4 if n >= 3 => {
+                let qs = pick3(&mut rng, n);
+                c.push(Gate::Peres(qs[0], qs[1], qs[2]));
+            }
+            _ => {
+                let (a, b) = pick2(&mut rng, n);
+                c.push(Gate::Cx(a, b));
+            }
+        }
+    }
+    c
+}
+
+fn pick2(rng: &mut StdRng, n: usize) -> (usize, usize) {
+    let a = rng.gen_range(0..n);
+    let mut b = rng.gen_range(0..n);
+    while b == a {
+        b = rng.gen_range(0..n);
+    }
+    (a, b)
+}
+
+fn pick3(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    let mut qs: Vec<usize> = (0..n).collect();
+    for i in 0..3 {
+        let j = rng.gen_range(i..n);
+        qs.swap(i, j);
+    }
+    qs.truncate(3);
+    qs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// lowered_to_cx is exactly the original circuit.
+    #[test]
+    fn lowering_is_exact(seed in 0u64..5000, n in 3usize..6, len in 2usize..12) {
+        let c = random_high_level(n, len, seed);
+        let lo = c.lowered_to_cx();
+        prop_assert!(lo.gates().iter().all(|g| g.arity() <= 2));
+        let inf = process_infidelity(&circuit_unitary(&c), &circuit_unitary(&lo));
+        prop_assert!(inf < 1e-9, "infidelity {inf}");
+    }
+
+    /// Dense unitary() and the column-wise state-vector unitary agree.
+    #[test]
+    fn unitary_matches_statevector(seed in 0u64..5000, n in 2usize..5, len in 2usize..10) {
+        let c = random_high_level(n, len, seed);
+        let dense = c.unitary();
+        let fast = circuit_unitary(&c);
+        prop_assert!(dense.approx_eq(&fast, 1e-10));
+    }
+
+    /// Running a circuit then its inverse restores any basis state.
+    #[test]
+    fn inverse_restores_state(seed in 0u64..5000, n in 2usize..5, len in 2usize..10, idx_f in 0.0f64..1.0) {
+        let mut c = random_high_level(n, len, seed);
+        c.append_inverse();
+        let idx = ((1usize << n) as f64 * idx_f) as usize % (1 << n);
+        let mut sv = StateVector::basis(n, idx);
+        sv.run(&c);
+        let p = sv.probabilities();
+        prop_assert!((p[idx] - 1.0).abs() < 1e-9, "state leaked: p = {}", p[idx]);
+    }
+
+    /// QASM-lite round-trips preserve the unitary.
+    #[test]
+    fn qasm_roundtrip(seed in 0u64..5000, n in 2usize..5, len in 2usize..10) {
+        let c = random_high_level(n, len, seed);
+        let back = reqisc_qcircuit::parse(&reqisc_qcircuit::emit(&c)).unwrap();
+        let inf = process_infidelity(&circuit_unitary(&c), &circuit_unitary(&back));
+        prop_assert!(inf < 1e-10);
+    }
+}

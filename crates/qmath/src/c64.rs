@@ -1,0 +1,329 @@
+//! A minimal double-precision complex scalar.
+//!
+//! The whole workspace operates on unitaries of dimension at most a few
+//! thousand, so a small self-contained complex type (rather than an external
+//! dependency) keeps the numeric kernel auditable.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// # Examples
+///
+/// ```
+/// use reqisc_qmath::C64;
+/// let z = C64::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!((z * z.conj()).re, 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The additive identity.
+pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+/// The multiplicative identity.
+pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+/// The imaginary unit.
+pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+impl C64 {
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a purely imaginary complex number.
+    #[inline]
+    pub const fn imag(im: f64) -> Self {
+        Self { re: 0.0, im }
+    }
+
+    /// `e^{iθ}` on the unit circle.
+    ///
+    /// ```
+    /// use reqisc_qmath::C64;
+    /// let z = C64::cis(std::f64::consts::PI);
+    /// assert!((z.re + 1.0).abs() < 1e-15 && z.im.abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|²` (cheaper than [`C64::abs`]).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Principal argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Self { re: r * self.im.cos(), im: r * self.im.sin() }
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.abs().sqrt();
+        let t = self.arg() / 2.0;
+        Self { re: r * t.cos(), im: r * t.sin() }
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns non-finite components when `z == 0`.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Self { re: self.re / d, im: -self.im / d }
+    }
+
+    /// `z/|z|`; returns `1` for `z == 0` so the result is always unimodular.
+    pub fn unit(self) -> Self {
+        let a = self.abs();
+        if a == 0.0 {
+            ONE
+        } else {
+            Self { re: self.re / a, im: self.im / a }
+        }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// `|self - other|`, the distance between two complex numbers.
+    #[inline]
+    pub fn dist(self, other: Self) -> f64 {
+        (self - other).abs()
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        Self::real(re)
+    }
+}
+
+impl Add for C64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl Sub for C64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for C64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for C64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for C64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self { re: -self.re, im: -self.im }
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        Self { re: self.re / rhs, im: self.im / rhs }
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<It: Iterator<Item = Self>>(iter: It) -> Self {
+        iter.fold(ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C64, b: C64) -> bool {
+        a.dist(b) < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = C64::new(1.5, -2.5);
+        assert!(close(z + ZERO, z));
+        assert!(close(z * ONE, z));
+        assert!(close(z - z, ZERO));
+        assert!(close(z / z, ONE));
+        assert!(close(-z + z, ZERO));
+    }
+
+    #[test]
+    fn mul_matches_polar() {
+        let a = C64::cis(0.3).scale(2.0);
+        let b = C64::cis(1.1).scale(0.5);
+        let p = a * b;
+        assert!((p.abs() - 1.0).abs() < 1e-12);
+        assert!((p.arg() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = C64::new(3.0, 4.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!(close(z * z.conj(), C64::real(25.0)));
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_cis() {
+        for k in 0..16 {
+            let t = k as f64 * 0.41 - 3.0;
+            assert!(close(C64::imag(t).exp(), C64::cis(t)));
+        }
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for k in 0..20 {
+            let z = C64::new((k as f64) * 0.7 - 6.0, (k as f64) * -0.3 + 2.0);
+            let s = z.sqrt();
+            assert!(close(s * s, z));
+        }
+    }
+
+    #[test]
+    fn recip_inverts() {
+        let z = C64::new(-0.7, 0.2);
+        assert!(close(z * z.recip(), ONE));
+    }
+
+    #[test]
+    fn unit_is_unimodular() {
+        assert!(close(ZERO.unit(), ONE));
+        let z = C64::new(-3.0, 1.0);
+        assert!((z.unit().abs() - 1.0).abs() < 1e-14);
+        assert!((z.unit().arg() - z.arg()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", C64::new(1.0, -1.0)).is_empty());
+    }
+}

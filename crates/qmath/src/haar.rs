@@ -1,0 +1,122 @@
+//! Haar-random unitary sampling.
+//!
+//! Table 3 of the paper benchmarks the microarchitecture over 10⁵
+//! Haar-random SU(4) targets; [`haar_su4`] provides those samples. Sampling
+//! uses the Ginibre + QR construction (QR implemented as modified
+//! Gram–Schmidt with the phase-of-R diagonal correction that makes the
+//! distribution exactly Haar).
+
+use crate::c64::C64;
+use crate::mat::CMat;
+use rand::Rng;
+
+/// Samples a standard complex Gaussian entry.
+fn gaussian_c64<R: Rng + ?Sized>(rng: &mut R) -> C64 {
+    // Box–Muller.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let r = (-2.0 * u1.ln()).sqrt();
+    C64::new(r * u2.cos(), r * u2.sin())
+}
+
+/// Samples an `n × n` Haar-random unitary.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let u = reqisc_qmath::haar_unitary(4, &mut rng);
+/// assert!(u.is_unitary(1e-10));
+/// ```
+pub fn haar_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CMat {
+    let g = CMat::from_fn(n, n, |_, _| gaussian_c64(rng));
+    // Modified Gram–Schmidt on columns, recording the R diagonal.
+    let mut q = g;
+    let mut rdiag = vec![C64::default(); n];
+    for j in 0..n {
+        for k in 0..j {
+            let mut ip = C64::default();
+            for i in 0..n {
+                ip += q[(i, k)].conj() * q[(i, j)];
+            }
+            for i in 0..n {
+                let v = q[(i, k)];
+                q[(i, j)] -= ip * v;
+            }
+        }
+        let norm = (0..n).map(|i| q[(i, j)].norm_sqr()).sum::<f64>().sqrt();
+        rdiag[j] = C64::real(norm);
+        for i in 0..n {
+            q[(i, j)] = q[(i, j)] / norm;
+        }
+    }
+    // For Ginibre input, R's diagonal is positive real after MGS, so the
+    // phase correction diag(r_jj/|r_jj|) is the identity and Q is already
+    // Haar-distributed.
+    q
+}
+
+/// Samples a Haar-random element of SU(2).
+pub fn haar_su2<R: Rng + ?Sized>(rng: &mut R) -> CMat {
+    let u = haar_unitary(2, rng);
+    u.scale(u.det().sqrt().recip())
+}
+
+/// Samples a Haar-random element of SU(4).
+pub fn haar_su4<R: Rng + ?Sized>(rng: &mut R) -> CMat {
+    let u = haar_unitary(4, rng);
+    // det^{1/4}: divide by any fourth root; Haar measure is invariant.
+    let d = u.det();
+    let root = C64::cis(d.arg() / 4.0);
+    u.scale(root.recip())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c64::ONE;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn haar_unitary_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for n in [2usize, 4, 8] {
+            let u = haar_unitary(n, &mut rng);
+            assert!(u.is_unitary(1e-10), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn special_unitaries_have_unit_det() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..8 {
+            let a = haar_su2(&mut rng);
+            assert!((a.det() - ONE).abs() < 1e-10);
+            let b = haar_su4(&mut rng);
+            assert!((b.det() - ONE).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn samples_differ() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = haar_su4(&mut rng);
+        let b = haar_su4(&mut rng);
+        assert!(a.max_dist(&b) > 1e-3, "independent samples should differ");
+    }
+
+    #[test]
+    fn first_moment_vanishes() {
+        // E[U] = 0 for Haar measure; check the empirical mean is small.
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 400;
+        let mut acc = CMat::zeros(2, 2);
+        for _ in 0..n {
+            acc = &acc + &haar_unitary(2, &mut rng);
+        }
+        acc = acc.scale(C64::real(1.0 / n as f64));
+        assert!(acc.fro_norm() < 0.15, "mean too large: {}", acc.fro_norm());
+    }
+}

@@ -1,0 +1,212 @@
+//! Singular-value decomposition and polar factors for small complex
+//! matrices.
+//!
+//! The approximate-synthesis sweep in `reqisc-synthesis` repeatedly needs the
+//! unitary polar factor of a 4×4 "environment" matrix; [`polar_unitary`]
+//! provides it via a one-sided Jacobi SVD, which is accurate even for
+//! rank-deficient environments.
+
+use crate::c64::{C64, ONE};
+use crate::mat::CMat;
+
+/// A singular value decomposition `A = U · diag(σ) · V†`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (unitary).
+    pub u: CMat,
+    /// Singular values in descending order (non-negative).
+    pub sigma: Vec<f64>,
+    /// Right singular vectors (unitary).
+    pub v: CMat,
+}
+
+/// Computes the SVD of a square complex matrix by one-sided Jacobi.
+///
+/// One-sided Jacobi orthogonalizes the columns of a working copy `W = A·V`
+/// by accumulating plane rotations into `V`; on convergence the column norms
+/// are the singular values and the normalized columns form `U`.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn svd(a: &CMat) -> Svd {
+    assert!(a.is_square(), "svd expects a square matrix");
+    let n = a.rows();
+    let mut w = a.clone();
+    let mut v = CMat::identity(n);
+    for _sweep in 0..128 {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in p + 1..n {
+                // Gram entries for columns p, q of w.
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = C64::default();
+                for k in 0..n {
+                    let wp = w[(k, p)];
+                    let wq = w[(k, q)];
+                    app += wp.norm_sqr();
+                    aqq += wq.norm_sqr();
+                    apq += wp.conj() * wq;
+                }
+                if apq.abs() <= 1e-15 * (app * aqq).sqrt().max(1e-300) {
+                    continue;
+                }
+                rotated = true;
+                // Complex Jacobi rotation diagonalizing [[app, apq],[apq*, aqq]].
+                let phase = apq.unit();
+                let ang = 0.5 * (2.0 * apq.abs()).atan2(app - aqq);
+                let (s, c) = ang.sin_cos();
+                let gpq = phase.scale(-s);
+                let gqp = phase.conj().scale(s);
+                let gc = C64::real(c);
+                for k in 0..n {
+                    let wp = w[(k, p)];
+                    let wq = w[(k, q)];
+                    w[(k, p)] = wp * gc + wq * gqp;
+                    w[(k, q)] = wp * gpq + wq * gc;
+                }
+                for k in 0..n {
+                    let vp = v[(k, p)];
+                    let vq = v[(k, q)];
+                    v[(k, p)] = vp * gc + vq * gqp;
+                    v[(k, q)] = vp * gpq + vq * gc;
+                }
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+    // Column norms → singular values; normalize columns → U.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n)
+        .map(|j| (0..n).map(|i| w[(i, j)].norm_sqr()).sum::<f64>().sqrt())
+        .collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+    let mut u = CMat::identity(n);
+    let mut sigma = vec![0.0; n];
+    let mut vv = CMat::identity(n);
+    // Track columns already used to complete the basis for zero σ.
+    for (jj, &j) in order.iter().enumerate() {
+        sigma[jj] = norms[j];
+        for i in 0..n {
+            vv[(i, jj)] = v[(i, j)];
+        }
+        if norms[j] > 1e-150 {
+            for i in 0..n {
+                u[(i, jj)] = w[(i, j)] / norms[j];
+            }
+        } else {
+            // Fill with a unit vector orthogonal to previous columns
+            // (Gram–Schmidt against existing ones).
+            let mut col = vec![C64::default(); n];
+            'basis: for b in 0..n {
+                for c in col.iter_mut() {
+                    *c = C64::default();
+                }
+                col[b] = ONE;
+                for prev in 0..jj {
+                    let mut ip = C64::default();
+                    for i in 0..n {
+                        ip += u[(i, prev)].conj() * col[i];
+                    }
+                    for (i, c) in col.iter_mut().enumerate() {
+                        *c -= ip * u[(i, prev)];
+                    }
+                }
+                let nrm = col.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+                if nrm > 1e-6 {
+                    for c in col.iter_mut() {
+                        *c = *c / nrm;
+                    }
+                    break 'basis;
+                }
+            }
+            for i in 0..n {
+                u[(i, jj)] = col[i];
+            }
+        }
+    }
+    Svd { u, sigma, v: vv }
+}
+
+/// Returns the unitary polar factor of `a`: the unitary `P` maximizing
+/// `Re Tr(a† · P)`.
+///
+/// When `a = U Σ V†`, the polar factor is `U V†`. For rank-deficient `a` the
+/// completion is an arbitrary-but-valid unitary, which is exactly what the
+/// synthesis sweep needs (any maximizer works).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn polar_unitary(a: &CMat) -> CMat {
+    let d = svd(a);
+    d.u.mul_mat(&d.v.adjoint())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::haar::haar_unitary;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_mat(n: usize, rng: &mut StdRng) -> CMat {
+        CMat::from_fn(n, n, |_, _| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+    }
+
+    #[test]
+    fn svd_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [2usize, 3, 4, 8] {
+            let a = random_mat(n, &mut rng);
+            let d = svd(&a);
+            let s = CMat::diag(&d.sigma.iter().map(|&x| C64::real(x)).collect::<Vec<_>>());
+            let rec = d.u.mul_mat(&s).mul_mat(&d.v.adjoint());
+            assert!(rec.approx_eq(&a, 1e-10), "svd reconstruction failed n={n}");
+            assert!(d.u.is_unitary(1e-10));
+            assert!(d.v.is_unitary(1e-10));
+            for w in d.sigma.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12, "sigma not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn svd_of_unitary_has_unit_sigma() {
+        let u = haar_unitary(4, &mut StdRng::seed_from_u64(1));
+        let d = svd(&u);
+        for s in d.sigma {
+            assert!((s - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn svd_rank_deficient() {
+        // Rank-1 matrix.
+        let a = CMat::from_fn(4, 4, |i, j| {
+            C64::real((i as f64 + 1.0) * (j as f64 - 1.5))
+        });
+        let d = svd(&a);
+        assert!(d.sigma[1].abs() < 1e-9, "expected rank 1, sigma = {:?}", d.sigma);
+        assert!(d.u.is_unitary(1e-9));
+        let s = CMat::diag(&d.sigma.iter().map(|&x| C64::real(x)).collect::<Vec<_>>());
+        assert!(d.u.mul_mat(&s).mul_mat(&d.v.adjoint()).approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn polar_factor_is_unitary_maximizer() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = random_mat(4, &mut rng);
+        let p = polar_unitary(&a);
+        assert!(p.is_unitary(1e-10));
+        // Re Tr(a† p) must beat a few random unitaries.
+        let best = a.hs_inner(&p).re;
+        for k in 0..8 {
+            let q = haar_unitary(4, &mut StdRng::seed_from_u64(100 + k));
+            assert!(a.hs_inner(&q).re <= best + 1e-9);
+        }
+    }
+}

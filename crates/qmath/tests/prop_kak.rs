@@ -1,0 +1,107 @@
+//! Property-based tests for the KAK decomposition and its supporting
+//! decompositions: these are the invariants every other crate builds on.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reqisc_qmath::gates::canonical_gate;
+use reqisc_qmath::{
+    expm_i_hermitian, haar_su2, haar_unitary, kak_decompose, polar_unitary, weyl_coords, C64,
+    CMat, WeylCoord,
+};
+use std::f64::consts::FRAC_PI_4;
+
+fn random_hermitian(n: usize, seed: u64) -> CMat {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = haar_unitary(n, &mut rng);
+    // H = G + G† is Hermitian for any G; scale down to keep spectra tame.
+    (&g + &g.adjoint()).scale(C64::real(0.5))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// KAK(U).reconstruct() == U for Haar-random U(4).
+    #[test]
+    fn kak_roundtrip_haar(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = haar_unitary(4, &mut rng);
+        let k = kak_decompose(&u).unwrap();
+        prop_assert!(k.reconstruct().approx_eq(&u, 1e-7));
+        prop_assert!(k.coords.in_chamber());
+    }
+
+    /// Weyl coordinates are invariant under local dressing.
+    #[test]
+    fn coords_are_local_invariants(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = haar_unitary(4, &mut rng);
+        let l = haar_su2(&mut rng).kron(&haar_su2(&mut rng));
+        let r = haar_su2(&mut rng).kron(&haar_su2(&mut rng));
+        let c0 = weyl_coords(&u).unwrap();
+        let c1 = weyl_coords(&l.mul_mat(&u).mul_mat(&r)).unwrap();
+        prop_assert!(c0.approx_eq(&c1, 1e-6), "coords moved: {c0} vs {c1}");
+    }
+
+    /// Coordinates of a chamber-interior canonical gate are recovered exactly.
+    #[test]
+    fn canonical_coords_recovered(
+        xf in 0.02f64..0.98,
+        yf in 0.02f64..0.98,
+        zf in -0.95f64..0.95,
+    ) {
+        let x = xf * FRAC_PI_4;
+        let y = yf * x.min(FRAC_PI_4 * 0.999);
+        let z = zf * y;
+        let g = canonical_gate(x, y, z);
+        let c = weyl_coords(&g).unwrap();
+        prop_assert!(
+            c.approx_eq(&WeylCoord::new(x, y, z), 1e-6),
+            "got {c} want ({x},{y},{z})"
+        );
+    }
+
+    /// Hermitian evolution stays unitary and composes additively in time.
+    #[test]
+    fn evolution_group_property(seed in 0u64..10_000, t1 in 0.01f64..1.5, t2 in 0.01f64..1.5) {
+        let h = random_hermitian(4, seed);
+        let a = expm_i_hermitian(&h, t1);
+        let b = expm_i_hermitian(&h, t2);
+        prop_assert!(a.is_unitary(1e-9));
+        prop_assert!(a.mul_mat(&b).approx_eq(&expm_i_hermitian(&h, t1 + t2), 1e-8));
+    }
+
+    /// The polar factor of any matrix is unitary and is a fixed point for
+    /// unitary inputs.
+    #[test]
+    fn polar_properties(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = haar_unitary(4, &mut rng);
+        let p = polar_unitary(&u);
+        prop_assert!(p.is_unitary(1e-9));
+        prop_assert!(p.approx_eq(&u, 1e-7), "polar of unitary should be itself");
+    }
+
+    /// Mirror involution: mirroring twice returns the original class.
+    #[test]
+    fn mirror_is_involution_on_classes(
+        xf in 0.05f64..0.95,
+        yf in 0.05f64..0.95,
+        zf in 0.0f64..0.95,
+    ) {
+        let x = xf * FRAC_PI_4;
+        let y = yf * x;
+        let z = zf * y;
+        let c = WeylCoord::new(x, y, z);
+        // SWAP·(SWAP·U) = U, so mirror(mirror(c)) must be locally equivalent
+        // to c. Compare through actual unitaries.
+        let g = canonical_gate(c.x, c.y, c.z);
+        let m1 = c.mirror();
+        let g1 = canonical_gate(m1.x, m1.y, m1.z);
+        // coords(SWAP·g) == canonical coords of the mirror formula's gate.
+        let swap = reqisc_qmath::gates::swap();
+        let lhs = weyl_coords(&swap.mul_mat(&g)).unwrap();
+        let rhs = weyl_coords(&g1).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-6), "mirror formula wrong: {lhs} vs {rhs}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Exact density-matrix simulation of the depolarizing noise model.
+//!
+//! The Monte-Carlo trajectories in [`crate::noisy`] scale further, but for
+//! small registers the channel can be applied exactly:
+//! `ρ ← (1−p)·UρU† + p/15·Σ_{P≠I⊗I} (PU)ρ(PU)†` for each noisy 2Q gate.
+//! Used to validate the trajectory sampler and for deterministic
+//! small-instance fidelity numbers.
+
+use crate::noisy::NoiseModel;
+use reqisc_qcircuit::{embed, Circuit, Gate};
+use reqisc_qmath::gates::{id2, pauli_x, pauli_y, pauli_z};
+use reqisc_qmath::{CMat, C64};
+
+/// A density matrix on `n` qubits.
+#[derive(Debug, Clone)]
+pub struct DensityMatrix {
+    n: usize,
+    rho: CMat,
+}
+
+impl DensityMatrix {
+    /// `|0…0⟩⟨0…0|`.
+    pub fn zero(n: usize) -> Self {
+        assert!(n <= 7, "density-matrix simulation is exponential; use trajectories");
+        let dim = 1usize << n;
+        let mut rho = CMat::zeros(dim, dim);
+        rho[(0, 0)] = reqisc_qmath::c64::ONE;
+        Self { n, rho }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Borrows the raw matrix.
+    pub fn matrix(&self) -> &CMat {
+        &self.rho
+    }
+
+    /// Applies a unitary gate exactly.
+    pub fn apply_gate(&mut self, g: &Gate) {
+        let u = embed(&g.matrix(), &g.qubits(), self.n);
+        self.rho = u.mul_mat(&self.rho).mul_mat(&u.adjoint());
+    }
+
+    /// Applies the two-qubit depolarizing channel with probability `p` on
+    /// the pair `(a, b)`.
+    pub fn depolarize_pair(&mut self, a: usize, b: usize, p: f64) {
+        if p <= 0.0 {
+            return;
+        }
+        let paulis = [id2(), pauli_x(), pauli_y(), pauli_z()];
+        let mut mixed = CMat::zeros(self.rho.rows(), self.rho.cols());
+        for (i, pa) in paulis.iter().enumerate() {
+            for (j, pb) in paulis.iter().enumerate() {
+                if i == 0 && j == 0 {
+                    continue;
+                }
+                let op = embed(&pa.kron(pb), &[a, b], self.n);
+                let term = op.mul_mat(&self.rho).mul_mat(&op.adjoint());
+                mixed = &mixed + &term;
+            }
+        }
+        self.rho = &self.rho.scale(C64::real(1.0 - p)) + &mixed.scale(C64::real(p / 15.0));
+    }
+
+    /// Runs a circuit under a noise model (channel after each noisy gate).
+    pub fn run_noisy(&mut self, c: &Circuit, noise: &NoiseModel) {
+        for g in c.gates() {
+            self.apply_gate(g);
+            let p = (noise.error_rate)(g);
+            if p > 0.0 && g.arity() >= 2 {
+                let qs = g.qubits();
+                self.depolarize_pair(qs[0], qs[1], p);
+            }
+        }
+    }
+
+    /// Measurement distribution (the diagonal).
+    pub fn probabilities(&self) -> Vec<f64> {
+        (0..self.rho.rows()).map(|i| self.rho[(i, i)].re.max(0.0)).collect()
+    }
+
+    /// Trace (1 for valid states).
+    pub fn trace(&self) -> f64 {
+        self.rho.trace().re
+    }
+}
+
+/// Exact noisy measurement distribution from `|0…0⟩`.
+pub fn exact_noisy_distribution(c: &Circuit, noise: &NoiseModel) -> Vec<f64> {
+    let mut dm = DensityMatrix::zero(c.num_qubits());
+    dm.run_noisy(c, noise);
+    dm.probabilities()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noisy::{ideal_distribution, noisy_distribution};
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.push(Gate::H(0));
+        for i in 1..n {
+            c.push(Gate::Cx(i - 1, i));
+        }
+        c
+    }
+
+    #[test]
+    fn noiseless_matches_statevector() {
+        let c = ghz(3);
+        let noise = NoiseModel::fixed(0.0);
+        let exact = exact_noisy_distribution(&c, &noise);
+        let ideal = ideal_distribution(&c);
+        for (a, b) in exact.iter().zip(&ideal) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_preserved_under_noise() {
+        let c = ghz(4);
+        let noise = NoiseModel::fixed(0.2);
+        let mut dm = DensityMatrix::zero(4);
+        dm.run_noisy(&c, &noise);
+        assert!((dm.trace() - 1.0).abs() < 1e-10);
+        let p = dm.probabilities();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trajectories_converge_to_exact() {
+        let c = ghz(3);
+        let noise = NoiseModel::fixed(0.1);
+        let exact = exact_noisy_distribution(&c, &noise);
+        let noise2 = NoiseModel::fixed(0.1);
+        let mc = noisy_distribution(&c, &noise2, 3000, 31);
+        let tv: f64 = exact
+            .iter()
+            .zip(&mc)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 2.0;
+        assert!(tv < 0.03, "trajectories diverge from exact channel: TV = {tv}");
+    }
+
+    #[test]
+    fn full_depolarizing_mixes() {
+        // p = 1 on every gate of a 2-qubit circuit drives the pair toward
+        // the maximally mixed state.
+        let mut c = Circuit::new(2);
+        for _ in 0..6 {
+            c.push(Gate::Cx(0, 1));
+        }
+        let noise = NoiseModel::fixed(1.0);
+        let p = exact_noisy_distribution(&c, &noise);
+        for v in p {
+            assert!((v - 0.25).abs() < 0.05, "not mixed: {v}");
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Fidelity metrics: Hellinger fidelity between distributions (the paper's
+//! program-fidelity metric, §6.1.1) and process infidelity between
+//! unitaries (the compilation-error metric, §6.8).
+
+use reqisc_qmath::CMat;
+
+/// Hellinger fidelity between two probability distributions:
+/// `F_H(p, q) = (Σ√(p_i·q_i))²`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn hellinger_fidelity(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let bc: f64 = p.iter().zip(q).map(|(a, b)| (a * b).max(0.0).sqrt()).sum();
+    bc * bc
+}
+
+/// Hellinger distance `√(1 − √F_H)` — occasionally handier than fidelity.
+pub fn hellinger_distance(p: &[f64], q: &[f64]) -> f64 {
+    (1.0 - hellinger_fidelity(p, q).sqrt()).max(0.0).sqrt()
+}
+
+/// Process infidelity between unitaries:
+/// `1 − |Tr(U†V)| / N` — the paper's compilation-error metric, which is
+/// phase-insensitive and zero iff `U = e^{iφ}V`.
+///
+/// # Panics
+///
+/// Panics if shapes differ or inputs are not square.
+pub fn process_infidelity(u: &CMat, v: &CMat) -> f64 {
+    assert!(u.is_square() && v.is_square(), "expected square matrices");
+    assert_eq!(u.rows(), v.rows(), "dimension mismatch");
+    let n = u.rows() as f64;
+    (1.0 - u.hs_inner(v).abs() / n).max(0.0)
+}
+
+/// Average gate fidelity `(N·F_pro + 1)/(N + 1)` with
+/// `F_pro = |Tr(U†V)|²/N²`.
+pub fn average_gate_fidelity(u: &CMat, v: &CMat) -> f64 {
+    let n = u.rows() as f64;
+    let fpro = (u.hs_inner(v).abs() / n).powi(2);
+    (n * fpro + 1.0) / (n + 1.0)
+}
+
+/// Total-variation distance `½·Σ|p_i − q_i|`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use reqisc_qmath::{haar_unitary, C64};
+
+    #[test]
+    fn hellinger_of_identical_is_one() {
+        let p = [0.25, 0.25, 0.5];
+        assert!((hellinger_fidelity(&p, &p) - 1.0).abs() < 1e-15);
+        assert!(hellinger_distance(&p, &p) < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_of_disjoint_is_zero() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!(hellinger_fidelity(&p, &q) < 1e-15);
+        assert!((hellinger_distance(&p, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_is_symmetric() {
+        let p = [0.7, 0.2, 0.1, 0.0];
+        let q = [0.1, 0.4, 0.3, 0.2];
+        assert!((hellinger_fidelity(&p, &q) - hellinger_fidelity(&q, &p)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn process_infidelity_phase_invariant() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let u = haar_unitary(4, &mut rng);
+        let v = u.scale(C64::cis(1.234));
+        assert!(process_infidelity(&u, &v) < 1e-12);
+        assert!(process_infidelity(&u, &u) < 1e-15);
+        assert!((average_gate_fidelity(&u, &v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn process_infidelity_detects_difference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let u = haar_unitary(4, &mut rng);
+        let v = haar_unitary(4, &mut rng);
+        assert!(process_infidelity(&u, &v) > 1e-3);
+    }
+
+    #[test]
+    fn tv_bounds() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert!((total_variation(&p, &q) - 0.5).abs() < 1e-15);
+        assert!(total_variation(&p, &p) < 1e-15);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # reqisc-qsim
+//!
+//! Simulation backends for the ReQISC reproduction: a dense state-vector
+//! simulator, Monte-Carlo depolarizing noise matching the paper's fidelity
+//! experiment (§6.7), and the fidelity/infidelity metrics of §6.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use reqisc_qcircuit::{Circuit, Gate};
+//! use reqisc_qsim::{ideal_distribution, StateVector};
+//!
+//! let mut c = Circuit::new(2);
+//! c.push(Gate::H(0));
+//! c.push(Gate::Cx(0, 1));
+//! let p = ideal_distribution(&c);
+//! assert!((p[0] - 0.5).abs() < 1e-12 && (p[3] - 0.5).abs() < 1e-12);
+//! ```
+
+pub mod density;
+pub mod fidelity;
+pub mod noisy;
+pub mod state;
+
+pub use density::{exact_noisy_distribution, DensityMatrix};
+pub use fidelity::{
+    average_gate_fidelity, hellinger_distance, hellinger_fidelity, process_infidelity,
+    total_variation,
+};
+pub use noisy::{ideal_distribution, noisy_distribution, run_trajectory, NoiseModel, P0, TAU0};
+pub use state::{circuit_unitary, StateVector};

@@ -1,0 +1,169 @@
+//! Duration-scaled depolarizing noise (paper §6.7).
+//!
+//! The paper's fidelity experiment appends a two-qubit depolarizing channel
+//! to every 2Q gate, with error rate proportional to the gate's pulse
+//! duration: `p = p0 · τ/τ0` where `τ0 = π/√2 · g⁻¹` is the baseline CNOT
+//! duration and `p0 = 0.001`. We realize the channel by Monte-Carlo
+//! trajectories: after each noisy gate, with probability `p` a uniformly
+//! random non-identity two-qubit Pauli is applied.
+
+use crate::state::StateVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reqisc_qcircuit::{Circuit, Gate};
+use reqisc_qmath::gates::{pauli_x, pauli_y, pauli_z};
+use reqisc_qmath::CMat;
+
+/// Baseline CNOT pulse duration `π/√2` in units of `g⁻¹` (paper §6.1).
+pub const TAU0: f64 = std::f64::consts::FRAC_PI_2 * std::f64::consts::SQRT_2;
+
+/// Baseline depolarizing probability `p0` for a CNOT-duration gate.
+pub const P0: f64 = 0.001;
+
+/// A per-gate depolarizing noise model.
+pub struct NoiseModel<'a> {
+    /// Returns the depolarizing probability of a gate (0 disables noise).
+    pub error_rate: Box<dyn Fn(&Gate) -> f64 + 'a>,
+}
+
+impl<'a> NoiseModel<'a> {
+    /// The paper's duration-scaled model: `p = p0·τ/τ0` for multi-qubit
+    /// gates, no error on 1Q gates. `dur` maps a gate to its pulse duration
+    /// in `g⁻¹`.
+    pub fn duration_scaled(dur: impl Fn(&Gate) -> f64 + 'a) -> Self {
+        Self {
+            error_rate: Box::new(move |g| {
+                if g.arity() >= 2 {
+                    P0 * dur(g) / TAU0
+                } else {
+                    0.0
+                }
+            }),
+        }
+    }
+
+    /// A fixed-rate model: every multi-qubit gate has probability `p`.
+    pub fn fixed(p: f64) -> Self {
+        Self {
+            error_rate: Box::new(move |g| if g.arity() >= 2 { p } else { 0.0 }),
+        }
+    }
+}
+
+fn pauli_on(which: usize) -> Option<CMat> {
+    match which {
+        0 => None,
+        1 => Some(pauli_x()),
+        2 => Some(pauli_y()),
+        _ => Some(pauli_z()),
+    }
+}
+
+/// Runs one noisy trajectory of `c` from `|0…0⟩` and returns the final
+/// state.
+pub fn run_trajectory(c: &Circuit, noise: &NoiseModel, rng: &mut StdRng) -> StateVector {
+    let mut sv = StateVector::zero(c.num_qubits());
+    for g in c.gates() {
+        sv.apply_gate(g);
+        let p = (noise.error_rate)(g);
+        if p > 0.0 && rng.gen_range(0.0..1.0) < p {
+            // Uniform non-identity Pauli pair on the first two qubits the
+            // gate touches (standard two-qubit depolarizing channel).
+            let qs = g.qubits();
+            let (qa, qb) = (qs[0], qs[1]);
+            let which = rng.gen_range(1usize..16);
+            let (wa, wb) = (which / 4, which % 4);
+            if let Some(pa) = pauli_on(wa) {
+                sv.apply_matrix(&pa, &[qa]);
+            }
+            if let Some(pb) = pauli_on(wb) {
+                sv.apply_matrix(&pb, &[qb]);
+            }
+        }
+    }
+    sv
+}
+
+/// Averages the measurement distribution over `trials` noisy trajectories.
+pub fn noisy_distribution(c: &Circuit, noise: &NoiseModel, trials: usize, seed: u64) -> Vec<f64> {
+    let dim = 1usize << c.num_qubits();
+    let mut acc = vec![0.0f64; dim];
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..trials {
+        let sv = run_trajectory(c, noise, &mut rng);
+        for (a, p) in acc.iter_mut().zip(sv.probabilities()) {
+            *a += p;
+        }
+    }
+    for a in acc.iter_mut() {
+        *a /= trials as f64;
+    }
+    acc
+}
+
+/// The noiseless measurement distribution of `c` from `|0…0⟩`.
+pub fn ideal_distribution(c: &Circuit) -> Vec<f64> {
+    let mut sv = StateVector::zero(c.num_qubits());
+    sv.run(c);
+    sv.probabilities()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.push(Gate::H(0));
+        for i in 1..n {
+            c.push(Gate::Cx(i - 1, i));
+        }
+        c
+    }
+
+    #[test]
+    fn zero_noise_matches_ideal() {
+        let c = ghz(3);
+        let noise = NoiseModel::fixed(0.0);
+        let noisy = noisy_distribution(&c, &noise, 4, 7);
+        let ideal = ideal_distribution(&c);
+        for (a, b) in noisy.iter().zip(&ideal) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn noise_spreads_distribution() {
+        let c = ghz(3);
+        let noise = NoiseModel::fixed(0.5);
+        let noisy = noisy_distribution(&c, &noise, 400, 11);
+        // Ideal GHZ puts all mass on |000>, |111>; heavy noise must leak.
+        let leaked: f64 = noisy
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 0 && *i != 7)
+            .map(|(_, p)| p)
+            .sum();
+        assert!(leaked > 0.05, "expected leakage, got {leaked}");
+        // Still a distribution.
+        assert!((noisy.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_scaled_rates() {
+        let nm = NoiseModel::duration_scaled(|_| TAU0);
+        assert!(((nm.error_rate)(&Gate::Cx(0, 1)) - P0).abs() < 1e-15);
+        assert_eq!((nm.error_rate)(&Gate::H(0)), 0.0);
+        let nm2 = NoiseModel::duration_scaled(|_| TAU0 / 2.0);
+        assert!(((nm2.error_rate)(&Gate::Cx(0, 1)) - P0 / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn trajectories_are_reproducible() {
+        let c = ghz(4);
+        let noise = NoiseModel::fixed(0.05);
+        let a = noisy_distribution(&c, &noise, 50, 42);
+        let b = noisy_distribution(&c, &noise, 50, 42);
+        assert_eq!(a, b);
+    }
+}

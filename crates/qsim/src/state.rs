@@ -1,0 +1,284 @@
+//! Dense state-vector simulation.
+//!
+//! Qubit 0 is the most significant bit of the basis index, matching
+//! `reqisc_qcircuit::embed`. Gates of any arity are applied by
+//! gather–multiply–scatter over the amplitudes, so circuits never need their
+//! full `4^n` unitary materialized.
+
+use rand::Rng;
+use reqisc_qcircuit::{Circuit, Gate};
+use reqisc_qmath::c64::{C64, ONE, ZERO};
+use reqisc_qmath::CMat;
+
+/// A normalized pure state on `n` qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    pub fn zero(n: usize) -> Self {
+        let mut amps = vec![ZERO; 1 << n];
+        amps[0] = ONE;
+        Self { n, amps }
+    }
+
+    /// A computational basis state `|index⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ 2^n`.
+    pub fn basis(n: usize, index: usize) -> Self {
+        assert!(index < (1 << n), "basis index out of range");
+        let mut amps = vec![ZERO; 1 << n];
+        amps[index] = ONE;
+        Self { n, amps }
+    }
+
+    /// Builds a state from raw amplitudes (must have length `2^n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Self {
+        let len = amps.len();
+        assert!(len.is_power_of_two(), "amplitude count must be 2^n");
+        Self { n: len.trailing_zeros() as usize, amps }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Borrows the amplitude vector.
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Squared-magnitude distribution over basis states.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// `|⟨self|other⟩|²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn fidelity(&self, other: &Self) -> f64 {
+        assert_eq!(self.n, other.n, "width mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum::<C64>()
+            .norm_sqr()
+    }
+
+    /// Applies a `2^k × 2^k` matrix to the listed qubits (first listed qubit
+    /// most significant within the gate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix size and qubit count disagree, or on repeated or
+    /// out-of-range qubits.
+    pub fn apply_matrix(&mut self, m: &CMat, qs: &[usize]) {
+        let k = qs.len();
+        assert_eq!(m.rows(), 1 << k, "matrix/qubit mismatch");
+        for (i, &q) in qs.iter().enumerate() {
+            assert!(q < self.n, "qubit {q} out of range");
+            assert!(!qs[..i].contains(&q), "repeated qubit {q}");
+        }
+        let shifts: Vec<usize> = qs.iter().map(|&q| self.n - 1 - q).collect();
+        // Iterate over all base indices whose gate-bit positions are zero.
+        let mask: usize = shifts.iter().map(|&s| 1usize << s).sum();
+        let dim = 1usize << self.n;
+        let mut gathered = vec![ZERO; 1 << k];
+        let mut idx = vec![0usize; 1 << k];
+        // Precompute the scatter offsets for each local index.
+        let offsets: Vec<usize> = (0..(1 << k))
+            .map(|i| {
+                let mut off = 0usize;
+                for (bi, &sh) in shifts.iter().enumerate() {
+                    if (i >> (k - 1 - bi)) & 1 == 1 {
+                        off |= 1 << sh;
+                    }
+                }
+                off
+            })
+            .collect();
+        let mut base = 0usize;
+        while base < dim {
+            if base & mask != 0 {
+                // Skip runs where gate bits are set: advance to next clear.
+                base += 1;
+                continue;
+            }
+            for (i, &off) in offsets.iter().enumerate() {
+                idx[i] = base | off;
+                gathered[i] = self.amps[base | off];
+            }
+            for (i, &target) in idx.iter().enumerate() {
+                let mut acc = ZERO;
+                for (j, &g) in gathered.iter().enumerate() {
+                    let v = m[(i, j)];
+                    if v.re != 0.0 || v.im != 0.0 {
+                        acc += v * g;
+                    }
+                }
+                self.amps[target] = acc;
+            }
+            base += 1;
+        }
+    }
+
+    /// Applies one gate.
+    pub fn apply_gate(&mut self, g: &Gate) {
+        self.apply_matrix(&g.matrix(), &g.qubits());
+    }
+
+    /// Runs a whole circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit register is wider than the state.
+    pub fn run(&mut self, c: &Circuit) {
+        assert!(c.num_qubits() <= self.n, "circuit wider than state");
+        for g in c.gates() {
+            self.apply_gate(g);
+        }
+    }
+
+    /// Samples one basis state from the measurement distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let r: f64 = rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            acc += a.norm_sqr();
+            if r < acc {
+                return i;
+            }
+        }
+        self.amps.len() - 1
+    }
+
+    /// L2 norm (should be 1 for physical states).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+}
+
+/// Computes the full circuit unitary column-by-column via state-vector
+/// runs — `O(2^n · gates · 2^k)` instead of dense `4^n` matrix products.
+///
+/// # Panics
+///
+/// Panics for registers wider than 14 qubits.
+pub fn circuit_unitary(c: &Circuit) -> CMat {
+    let n = c.num_qubits();
+    assert!(n <= 14, "circuit_unitary materializes 4^n entries");
+    let dim = 1usize << n;
+    let mut u = CMat::zeros(dim, dim);
+    for col in 0..dim {
+        let mut sv = StateVector::basis(n, col);
+        sv.run(c);
+        for (row, &a) in sv.amplitudes().iter().enumerate() {
+            u[(row, col)] = a;
+        }
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use reqisc_qmath::weyl::WeylCoord;
+
+    #[test]
+    fn zero_state_is_normalized() {
+        let sv = StateVector::zero(5);
+        assert!((sv.norm() - 1.0).abs() < 1e-15);
+        assert!((sv.probabilities()[0] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Cx(0, 1));
+        let mut sv = StateVector::zero(2);
+        sv.run(&c);
+        let p = sv.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[3] - 0.5).abs() < 1e-12);
+        assert!(p[1].abs() < 1e-12 && p[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_dense_unitary() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::H(0));
+        c.push(Gate::Cx(0, 2));
+        c.push(Gate::Can(1, 3, WeylCoord::new(0.3, 0.2, 0.1)));
+        c.push(Gate::Ccx(0, 1, 3));
+        c.push(Gate::U3(2, 0.5, -0.3, 0.9));
+        let dense = c.unitary();
+        let fast = circuit_unitary(&c);
+        assert!(fast.approx_eq(&dense, 1e-12));
+    }
+
+    #[test]
+    fn apply_matrix_respects_order() {
+        // CX(1,0): control qubit 1, target qubit 0.
+        let mut sv = StateVector::basis(2, 0b01); // q0=0, q1=1
+        sv.apply_matrix(&reqisc_qmath::gates::cnot(), &[1, 0]);
+        let p = sv.probabilities();
+        assert!((p[0b11] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_preserves_norm() {
+        let mut c = Circuit::new(3);
+        for i in 0..3 {
+            c.push(Gate::U3(i, 0.3 * i as f64 + 0.2, 0.1, -0.4));
+        }
+        c.push(Gate::Ccx(0, 1, 2));
+        c.push(Gate::SqiSw(0, 2));
+        let mut sv = StateVector::zero(3);
+        sv.run(&c);
+        assert!((sv.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states_is_zero() {
+        let a = StateVector::basis(2, 0);
+        let b = StateVector::basis(2, 3);
+        assert!(a.fidelity(&b) < 1e-15);
+        assert!((a.fidelity(&a) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sampling_follows_distribution() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::H(0));
+        let mut sv = StateVector::zero(1);
+        sv.run(&c);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 4000;
+        let ones = (0..n).filter(|_| sv.sample(&mut rng) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "frac = {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated qubit")]
+    fn rejects_repeated_qubits() {
+        let mut sv = StateVector::zero(2);
+        sv.apply_matrix(&reqisc_qmath::gates::cnot(), &[0, 0]);
+    }
+}

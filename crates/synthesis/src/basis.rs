@@ -1,0 +1,299 @@
+//! Fixed-basis decomposition for variational workloads (paper §5.3.1).
+//!
+//! Variational programs would require continual recalibration of their
+//! parameter-dependent SU(4)s. Instead, the paper shifts the reconfiguration
+//! into 1Q gates (calibration-free via the PMW phase-shift protocol) by
+//! decomposing every SU(4) into a *fixed* 2Q basis gate (SQiSW or B)
+//! interleaved with parameterized 1Q layers. This module finds such
+//! decompositions numerically: the interior local layers are optimized by
+//! Nelder–Mead on the Weyl-coordinate residual, and the exact outer locals
+//! come from two canonical decompositions.
+
+use reqisc_qcircuit::embed;
+use reqisc_qmath::gates::u3;
+use reqisc_qmath::weyl::WeylCoord;
+use reqisc_qmath::{kak_decompose, weyl_coords, CMat};
+
+/// A fixed-basis decomposition:
+/// `target = slots…` where each slot is a 1Q gate or the basis gate.
+#[derive(Debug, Clone)]
+pub struct BasisDecomposition {
+    /// `(qubits, matrix)` in execution order; 2Q entries are the basis.
+    pub slots: Vec<(Vec<usize>, CMat)>,
+    /// Number of basis-gate applications.
+    pub basis_count: usize,
+    /// Final process infidelity against the target.
+    pub infidelity: f64,
+}
+
+impl BasisDecomposition {
+    /// Multiplies the slots back into a 4×4 unitary.
+    pub fn unitary(&self) -> CMat {
+        let mut u = CMat::identity(4);
+        for (qs, g) in &self.slots {
+            u = embed(g, qs, 2).mul_mat(&u);
+        }
+        u
+    }
+}
+
+/// Decomposes `target` into the minimal number of `basis` applications
+/// (≤ `max_count`) with interleaved 1Q gates.
+///
+/// Returns `None` when no count up to `max_count` reaches coordinate
+/// residual `1e-8` (for SQiSW and B, 3 applications always suffice for any
+/// SU(4); 2 suffice on a large sub-polytope).
+pub fn synthesize_with_basis(
+    target: &CMat,
+    basis: &CMat,
+    max_count: usize,
+) -> Option<BasisDecomposition> {
+    let tw = weyl_coords(target).ok()?;
+    let bw = weyl_coords(basis).ok()?;
+    // Zero applications: local target.
+    if tw.l1_norm() < 1e-9 {
+        let k = kak_decompose(target).ok()?;
+        let slots = vec![
+            (vec![0usize], k.a1.mul_mat(&k.b1).scale(k.phase)),
+            (vec![1usize], k.a2.mul_mat(&k.b2)),
+        ];
+        return finish(target, slots, 0);
+    }
+    // One application: same Weyl class as the basis gate.
+    if tw.approx_eq(&bw, 1e-9) {
+        let core = vec![(vec![0usize, 1], basis.clone())];
+        let slots = dress(target, core)?;
+        return finish(target, slots, 1);
+    }
+    for count in 2..=max_count {
+        if let Some(core) = search_core(&tw, basis, count) {
+            if let Some(slots) = dress(target, core) {
+                return finish(target, slots, count);
+            }
+        }
+    }
+    None
+}
+
+fn finish(
+    target: &CMat,
+    slots: Vec<(Vec<usize>, CMat)>,
+    basis_count: usize,
+) -> Option<BasisDecomposition> {
+    let d = BasisDecomposition { slots, basis_count, infidelity: 0.0 };
+    let inf = (1.0 - target.hs_inner(&d.unitary()).abs() / 4.0).max(0.0);
+    (inf < 1e-7).then_some(BasisDecomposition { infidelity: inf, ..d })
+}
+
+/// Builds `basis · L_{k-1} · … · L_1 · basis` with interior local layers
+/// parameterized as `u3⊗u3`, searching the layer angles so the product's
+/// Weyl coordinates match `tw`.
+fn search_core(tw: &WeylCoord, basis: &CMat, count: usize) -> Option<Vec<(Vec<usize>, CMat)>> {
+    let layers = count - 1;
+    let dim = 6 * layers;
+    let build = |params: &[f64]| -> Vec<(Vec<usize>, CMat)> {
+        let mut slots: Vec<(Vec<usize>, CMat)> = vec![(vec![0, 1], basis.clone())];
+        for l in 0..layers {
+            let p = &params[6 * l..6 * l + 6];
+            slots.push((vec![0], u3(p[0], p[1], p[2])));
+            slots.push((vec![1], u3(p[3], p[4], p[5])));
+            slots.push((vec![0, 1], basis.clone()));
+        }
+        slots
+    };
+    let coords_of = |params: &[f64]| -> Option<WeylCoord> {
+        let mut u = CMat::identity(4);
+        for (qs, g) in build(params) {
+            u = embed(&g, &qs, 2).mul_mat(&u);
+        }
+        weyl_coords(&u).ok()
+    };
+    let objective = |params: &[f64]| -> f64 {
+        coords_of(params).map_or(1e3, |c| c.dist(tw))
+    };
+    // Multi-start Nelder–Mead over the layer angles; the budget grows with
+    // the dimension (3-application cores are a 12-dimensional search).
+    let n_starts = 8 + 8 * layers;
+    let iters = 800 + 900 * layers;
+    let mut starts: Vec<Vec<f64>> = vec![vec![0.0; dim]];
+    starts.extend((0..n_starts).map(|s| {
+        (0..dim)
+            .map(|i| {
+                // Deterministic quasi-random starting angles.
+                let x = ((s * dim + i + 1) as f64 * 0.618_033_988_75).fract();
+                (x - 0.5) * std::f64::consts::PI * 2.0
+            })
+            .collect::<Vec<f64>>()
+    }));
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    for s in starts {
+        let (p0, r0) = nelder_mead(&objective, &s, 0.4, iters);
+        // Polish the most promising basins with a tighter restart.
+        let (p, r) = if r0 < 1e-2 && r0 > 1e-10 {
+            nelder_mead(&objective, &p0, 0.02, iters)
+        } else {
+            (p0, r0)
+        };
+        if best.as_ref().map_or(true, |(_, br)| r < *br) {
+            best = Some((p, r));
+        }
+        if best.as_ref().unwrap().1 < 1e-10 {
+            break;
+        }
+    }
+    let (p, r) = best?;
+    (r < 1e-8).then(|| build(&p))
+}
+
+/// Dresses a core circuit with exact outer 1Q gates so it equals `target`.
+fn dress(target: &CMat, core: Vec<(Vec<usize>, CMat)>) -> Option<Vec<(Vec<usize>, CMat)>> {
+    let mut core_u = CMat::identity(4);
+    for (qs, g) in &core {
+        core_u = embed(g, qs, 2).mul_mat(&core_u);
+    }
+    let kt = kak_decompose(target).ok()?;
+    let kc = kak_decompose(&core_u).ok()?;
+    if kt.coords.dist(&kc.coords) > 1e-6 {
+        return None;
+    }
+    let phase = kt.phase * kc.phase.recip();
+    let a1 = kt.a1.mul_mat(&kc.a1.adjoint()).scale(phase);
+    let a2 = kt.a2.mul_mat(&kc.a2.adjoint());
+    let b1 = kc.b1.adjoint().mul_mat(&kt.b1);
+    let b2 = kc.b2.adjoint().mul_mat(&kt.b2);
+    let mut slots: Vec<(Vec<usize>, CMat)> = vec![(vec![0], b1), (vec![1], b2)];
+    slots.extend(core);
+    slots.push((vec![0], a1));
+    slots.push((vec![1], a2));
+    Some(slots)
+}
+
+/// Minimal n-dimensional Nelder–Mead.
+fn nelder_mead(
+    f: &dyn Fn(&[f64]) -> f64,
+    x0: &[f64],
+    step: f64,
+    max_iter: usize,
+) -> (Vec<f64>, f64) {
+    let n = x0.len();
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    simplex.push((x0.to_vec(), f(x0)));
+    for i in 0..n {
+        let mut p = x0.to_vec();
+        p[i] += step;
+        let v = f(&p);
+        simplex.push((p, v));
+    }
+    for _ in 0..max_iter {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        if simplex[0].1 < 1e-12 {
+            break;
+        }
+        let worst = simplex[n].clone();
+        let mut cen = vec![0.0; n];
+        for s in simplex.iter().take(n) {
+            for (c, v) in cen.iter_mut().zip(&s.0) {
+                *c += v / n as f64;
+            }
+        }
+        let combine = |alpha: f64| -> Vec<f64> {
+            cen.iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + alpha * (c - w))
+                .collect()
+        };
+        let refl = combine(1.0);
+        let fr = f(&refl);
+        if fr < simplex[0].1 {
+            let exp = combine(2.0);
+            let fe = f(&exp);
+            simplex[n] = if fe < fr { (exp, fe) } else { (refl, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (refl, fr);
+        } else {
+            let con = combine(-0.5);
+            let fc = f(&con);
+            if fc < worst.1 {
+                simplex[n] = (con, fc);
+            } else {
+                let best = simplex[0].0.clone();
+                for s in simplex.iter_mut().skip(1) {
+                    for (x, b) in s.0.iter_mut().zip(&best) {
+                        *x = b + 0.5 * (*x - b);
+                    }
+                    s.1 = f(&s.0);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let (p, v) = simplex.remove(0);
+    (p, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqisc_qmath::gates as qg;
+    use reqisc_qmath::haar_su4;
+
+    #[test]
+    fn local_target_needs_zero_basis_gates() {
+        let t = qg::hadamard().kron(&qg::t_gate());
+        let d = synthesize_with_basis(&t, &qg::sqisw(), 3).unwrap();
+        assert_eq!(d.basis_count, 0);
+        assert!(d.infidelity < 1e-9);
+    }
+
+    #[test]
+    fn sqisw_class_needs_one() {
+        // Anything locally equivalent to SQiSW itself.
+        let t = qg::hadamard()
+            .kron(&qg::t_gate())
+            .mul_mat(&qg::sqisw())
+            .mul_mat(&qg::s_gate().kron(&qg::hadamard()));
+        let d = synthesize_with_basis(&t, &qg::sqisw(), 3).unwrap();
+        assert_eq!(d.basis_count, 1);
+        assert!(d.infidelity < 1e-8);
+    }
+
+    #[test]
+    fn cnot_needs_two_sqisw() {
+        // Huang et al.: CNOT is inside the 2-SQiSW polytope.
+        let d = synthesize_with_basis(&qg::cnot(), &qg::sqisw(), 3).unwrap();
+        assert_eq!(d.basis_count, 2);
+        assert!(d.infidelity < 1e-8);
+    }
+
+    #[test]
+    fn swap_needs_three_sqisw() {
+        // SWAP lies outside the 2-SQiSW polytope.
+        let d = synthesize_with_basis(&qg::swap(), &qg::sqisw(), 3).unwrap();
+        assert_eq!(d.basis_count, 3);
+        assert!(d.infidelity < 1e-8);
+    }
+
+    #[test]
+    fn haar_random_within_three_sqisw() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..3 {
+            let t = haar_su4(&mut rng);
+            let d = synthesize_with_basis(&t, &qg::sqisw(), 3)
+                .expect("3 SQiSW suffice for any SU(4)");
+            assert!(d.basis_count <= 3);
+            assert!(d.infidelity < 1e-7, "infidelity {}", d.infidelity);
+        }
+    }
+
+    #[test]
+    fn b_gate_basis_needs_two_for_haar() {
+        use rand::SeedableRng;
+        // Zhang et al.: the B gate synthesizes any SU(4) in 2 applications.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let t = haar_su4(&mut rng);
+        let d = synthesize_with_basis(&t, &qg::b_gate(), 3).unwrap();
+        assert!(d.basis_count <= 2, "B-gate count {}", d.basis_count);
+        assert!(d.infidelity < 1e-7);
+    }
+}

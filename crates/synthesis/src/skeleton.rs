@@ -1,0 +1,428 @@
+//! Skeleton instantiation: optimize the *local* layers of a circuit with a
+//! fixed entangling skeleton (e.g. `k` CNOTs) to match a 2Q target.
+//!
+//! This powers the CNOT-based baselines' block re-synthesis: a consolidated
+//! 2Q block with Weyl coordinates `(x, y, z)` needs 0–3 CNOTs
+//! (Shende–Bullock–Markov), and the interleaved 1Q layers are found by the
+//! same environment-sweep trick as [`crate::sweep`], with 2×2 polar
+//! updates.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reqisc_qcircuit::embed;
+use reqisc_qmath::gates::cnot;
+use reqisc_qmath::weyl::WeylCoord;
+use reqisc_qmath::{haar_unitary, polar_unitary, weyl_coords, CMat};
+
+/// One slot of a skeleton: either a fixed gate or a free 1Q block.
+#[derive(Debug, Clone)]
+pub enum Slot {
+    /// A fixed gate on the given qubits (matrix of matching dimension).
+    Fixed(Vec<usize>, CMat),
+    /// A free 1Q block on one qubit, optimized by the sweep.
+    Free1Q(usize),
+}
+
+/// Result of a skeleton instantiation.
+#[derive(Debug, Clone)]
+pub struct SkeletonResult {
+    /// All slots with the free blocks filled in (in execution order).
+    pub slots: Vec<(Vec<usize>, CMat)>,
+    /// Final process infidelity.
+    pub infidelity: f64,
+}
+
+impl SkeletonResult {
+    /// Full unitary of the instantiated skeleton.
+    pub fn unitary(&self, num_qubits: usize) -> CMat {
+        let mut u = CMat::identity(1 << num_qubits);
+        for (qs, g) in &self.slots {
+            u = embed(g, qs, num_qubits).mul_mat(&u);
+        }
+        u
+    }
+}
+
+/// Optimizes the free 1Q blocks of `slots` to approximate `target`.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+pub fn instantiate_skeleton(
+    target: &CMat,
+    slots: &[Slot],
+    num_qubits: usize,
+    restarts: usize,
+    seed: u64,
+) -> SkeletonResult {
+    let dim = 1usize << num_qubits;
+    assert_eq!(target.rows(), dim, "target dimension mismatch");
+    let udag = target.adjoint();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<SkeletonResult> = None;
+    for restart in 0..=restarts {
+        // Materialize working blocks.
+        let mut blocks: Vec<(Vec<usize>, CMat, bool)> = slots
+            .iter()
+            .map(|s| match s {
+                Slot::Fixed(qs, m) => (qs.clone(), m.clone(), false),
+                Slot::Free1Q(q) => {
+                    let init = if restart == 0 {
+                        CMat::identity(2)
+                    } else {
+                        haar_unitary(2, &mut rng)
+                    };
+                    (vec![*q], init, true)
+                }
+            })
+            .collect();
+        let m = blocks.len();
+        let mut inf = f64::INFINITY;
+        for _sweep in 0..400 {
+            // Prefix/suffix products.
+            let mut prefix = vec![CMat::identity(dim)];
+            for (qs, g, _) in blocks.iter() {
+                let e = embed(g, qs, num_qubits);
+                let last = prefix.last().unwrap().clone();
+                prefix.push(e.mul_mat(&last));
+            }
+            let mut suffix = vec![CMat::identity(dim); m + 1];
+            for k in (0..m).rev() {
+                let e = embed(&blocks[k].1, &blocks[k].0, num_qubits);
+                suffix[k] = suffix[k + 1].mul_mat(&e);
+            }
+            for k in 0..m {
+                if !blocks[k].2 {
+                    continue;
+                }
+                let q = blocks[k].0[0];
+                let mmat = prefix[k].mul_mat(&udag).mul_mat(&suffix[k + 1]);
+                let env = env_1q(&mmat, q, num_qubits);
+                blocks[k].1 = polar_unitary(&env.conj());
+                let e = embed(&blocks[k].1, &blocks[k].0, num_qubits);
+                prefix[k + 1] = e.mul_mat(&prefix[k]);
+            }
+            // Convergence check.
+            let mut u = CMat::identity(dim);
+            for (qs, g, _) in blocks.iter() {
+                u = embed(g, qs, num_qubits).mul_mat(&u);
+            }
+            let now = (1.0 - target.hs_inner(&u).abs() / dim as f64).max(0.0);
+            if (inf - now).abs() < 1e-16 || now < 1e-12 {
+                inf = now;
+                break;
+            }
+            inf = now;
+        }
+        let r = SkeletonResult {
+            slots: blocks.into_iter().map(|(qs, g, _)| (qs, g)).collect(),
+            infidelity: inf,
+        };
+        let better = best.as_ref().map_or(true, |b| r.infidelity < b.infidelity);
+        if better {
+            best = Some(r);
+        }
+        if best.as_ref().unwrap().infidelity < 1e-10 {
+            break;
+        }
+    }
+    best.expect("at least one restart")
+}
+
+fn env_1q(m: &CMat, q: usize, num_qubits: usize) -> CMat {
+    let n = num_qubits;
+    let sh = n - 1 - q;
+    let rest: Vec<usize> = (0..n).filter(|&qq| qq != q).map(|qq| n - 1 - qq).collect();
+    let mut env = CMat::zeros(2, 2);
+    for ctx in 0..(1usize << rest.len()) {
+        let mut base = 0usize;
+        for (bi, &s) in rest.iter().enumerate() {
+            if (ctx >> bi) & 1 == 1 {
+                base |= 1 << s;
+            }
+        }
+        for i in 0..2usize {
+            for j in 0..2usize {
+                env[(i, j)] += m[(base | (j << sh), base | (i << sh))];
+            }
+        }
+    }
+    env
+}
+
+/// Minimal CNOT count for a 2Q gate class (Shende–Bullock–Markov):
+/// 0 for local gates, 1 for the CNOT class, 2 when `z = 0`, else 3.
+pub fn min_cnots(w: &WeylCoord) -> usize {
+    let eps = 1e-8;
+    if w.l1_norm() < eps {
+        0
+    } else if w.approx_eq(&WeylCoord::cnot(), eps) {
+        1
+    } else if w.z.abs() < eps {
+        2
+    } else {
+        3
+    }
+}
+
+/// Synthesizes a 2Q unitary into the minimal number of CNOTs plus 1Q
+/// layers, returning `(slots, cnot_count)`.
+///
+/// The construction is class-based and exact: a *core* circuit with the
+/// target's Weyl coordinates is built per CNOT count (identity for 0, a
+/// bare CNOT for 1, `CX·(Rx(2x)⊗Rz(2y))·CX` for the `z = 0` classes, and a
+/// Vatan–Williams-style three-CNOT circuit whose middle angles are refined
+/// numerically for the general case), then dressed with the exact 1Q
+/// corrections from two canonical decompositions.
+///
+/// # Errors
+///
+/// Returns the achieved infidelity as `Err` if the input is not unitary or
+/// the core search fails (not observed for unitary inputs).
+pub fn synthesize_to_cnots(target: &CMat) -> Result<(SkeletonResult, usize), f64> {
+    let w = weyl_coords(target).map_err(|_| 1.0f64)?;
+    let k = min_cnots(&w);
+    // Build core slots with the target's Weyl class.
+    let core: Vec<(Vec<usize>, CMat)> = match k {
+        0 => Vec::new(),
+        1 => vec![(vec![0, 1], cnot())],
+        2 => {
+            let mid = reqisc_qmath::gates::rx(2.0 * w.x).kron(&reqisc_qmath::gates::rz(2.0 * w.y));
+            vec![
+                (vec![0, 1], cnot()),
+                (vec![0], reqisc_qmath::gates::rx(2.0 * w.x)),
+                (vec![1], reqisc_qmath::gates::rz(2.0 * w.y)),
+                (vec![0, 1], cnot()),
+            ]
+            .into_iter()
+            .map(|(q, m)| (q, m))
+            .collect::<Vec<_>>()
+            .tap_check(&mid)
+        }
+        _ => three_cnot_core(&w).ok_or(1.0f64)?,
+    };
+    // Multiply out the core and dress it to equal the target exactly.
+    let mut core_u = CMat::identity(4);
+    for (qs, g) in &core {
+        core_u = embed(g, qs, 2).mul_mat(&core_u);
+    }
+    let kt = reqisc_qmath::kak_decompose(target).map_err(|_| 1.0f64)?;
+    let kc = reqisc_qmath::kak_decompose(&core_u).map_err(|_| 1.0f64)?;
+    if kt.coords.dist(&kc.coords) > 1e-7 {
+        return Err(kt.coords.dist(&kc.coords));
+    }
+    let phase = kt.phase * kc.phase.recip();
+    let a1 = kt.a1.mul_mat(&kc.a1.adjoint()).scale(phase);
+    let a2 = kt.a2.mul_mat(&kc.a2.adjoint());
+    let b1 = kc.b1.adjoint().mul_mat(&kt.b1);
+    let b2 = kc.b2.adjoint().mul_mat(&kt.b2);
+    let mut slots: Vec<(Vec<usize>, CMat)> = vec![(vec![0], b1), (vec![1], b2)];
+    slots.extend(core);
+    slots.push((vec![0], a1));
+    slots.push((vec![1], a2));
+    let r = SkeletonResult { slots, infidelity: 0.0 };
+    let u = r.unitary(2);
+    let inf = (1.0 - target.hs_inner(&u).abs() / 4.0).max(0.0);
+    if inf > 1e-8 {
+        return Err(inf);
+    }
+    Ok((SkeletonResult { slots: r.slots, infidelity: inf }, k))
+}
+
+/// Helper trait used to keep the 2-CNOT construction readable while
+/// asserting (in debug builds) that the flattened middle layer matches.
+trait TapCheck {
+    fn tap_check(self, mid: &CMat) -> Self;
+}
+
+impl TapCheck for Vec<(Vec<usize>, CMat)> {
+    fn tap_check(self, mid: &CMat) -> Self {
+        debug_assert!({
+            let m = embed(&self[1].1, &self[1].0, 2).mul_mat(&embed(&self[2].1, &self[2].0, 2));
+            m.approx_eq(mid, 1e-12)
+        });
+        self
+    }
+}
+
+/// Builds a three-CNOT core with the given Weyl coordinates:
+/// `CX₁₀ · (Rz(a)⊗Ry(b)) · CX₀₁ · (I⊗Ry(c)) · CX₁₀`, with the middle
+/// angles found by Nelder–Mead from analytic initial guesses.
+fn three_cnot_core(w: &WeylCoord) -> Option<Vec<(Vec<usize>, CMat)>> {
+    use reqisc_qmath::gates::{ry, rz};
+    let build = |a: f64, b: f64, c: f64| -> Vec<(Vec<usize>, CMat)> {
+        vec![
+            (vec![1, 0], cnot()),
+            (vec![0], rz(a)),
+            (vec![1], ry(b)),
+            (vec![0, 1], cnot()),
+            (vec![1], ry(c)),
+            (vec![1, 0], cnot()),
+        ]
+    };
+    let coords_of = |a: f64, b: f64, c: f64| -> Option<WeylCoord> {
+        let mut u = CMat::identity(4);
+        for (qs, g) in build(a, b, c) {
+            u = embed(&g, &qs, 2).mul_mat(&u);
+        }
+        weyl_coords(&u).ok()
+    };
+    let objective = |p: &[f64; 3]| -> f64 {
+        coords_of(p[0], p[1], p[2]).map_or(1e3, |c| c.dist(w))
+    };
+    // Analytic initial guesses for the standard conventions, plus sign
+    // flips — the refiner snaps to the exact root from any nearby start.
+    let mut inits = Vec::new();
+    for s1 in [1.0f64, -1.0] {
+        for s2 in [1.0f64, -1.0] {
+            for s3 in [1.0f64, -1.0] {
+                inits.push([
+                    s1 * (2.0 * w.z - std::f64::consts::FRAC_PI_2),
+                    s2 * (std::f64::consts::FRAC_PI_2 - 2.0 * w.x),
+                    s3 * (2.0 * w.y - std::f64::consts::FRAC_PI_2),
+                ]);
+                inits.push([s1 * 2.0 * w.z, s2 * 2.0 * w.x, s3 * 2.0 * w.y]);
+            }
+        }
+    }
+    let mut best: Option<([f64; 3], f64)> = None;
+    for init in inits {
+        let (p, r) = nelder_mead_3d(&objective, init, 0.3, 400);
+        if best.as_ref().map_or(true, |(_, br)| r < *br) {
+            best = Some((p, r));
+        }
+        if best.as_ref().unwrap().1 < 1e-10 {
+            break;
+        }
+    }
+    let (p, r) = best?;
+    if r > 1e-8 {
+        return None;
+    }
+    Some(build(p[0], p[1], p[2]))
+}
+
+fn nelder_mead_3d(
+    f: &dyn Fn(&[f64; 3]) -> f64,
+    x0: [f64; 3],
+    step: f64,
+    max_iter: usize,
+) -> ([f64; 3], f64) {
+    let mut simplex: Vec<([f64; 3], f64)> = Vec::with_capacity(4);
+    simplex.push((x0, f(&x0)));
+    for i in 0..3 {
+        let mut p = x0;
+        p[i] += step;
+        simplex.push((p, f(&p)));
+    }
+    for _ in 0..max_iter {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        if simplex[0].1 < 1e-12 {
+            break;
+        }
+        let worst = simplex[3];
+        let mut cen = [0.0f64; 3];
+        for s in simplex.iter().take(3) {
+            for (c, v) in cen.iter_mut().zip(s.0) {
+                *c += v / 3.0;
+            }
+        }
+        let refl = [
+            2.0 * cen[0] - worst.0[0],
+            2.0 * cen[1] - worst.0[1],
+            2.0 * cen[2] - worst.0[2],
+        ];
+        let fr = f(&refl);
+        if fr < simplex[0].1 {
+            let exp = [
+                3.0 * cen[0] - 2.0 * worst.0[0],
+                3.0 * cen[1] - 2.0 * worst.0[1],
+                3.0 * cen[2] - 2.0 * worst.0[2],
+            ];
+            let fe = f(&exp);
+            simplex[3] = if fe < fr { (exp, fe) } else { (refl, fr) };
+        } else if fr < simplex[2].1 {
+            simplex[3] = (refl, fr);
+        } else {
+            let con = [
+                0.5 * (cen[0] + worst.0[0]),
+                0.5 * (cen[1] + worst.0[1]),
+                0.5 * (cen[2] + worst.0[2]),
+            ];
+            let fc = f(&con);
+            if fc < worst.1 {
+                simplex[3] = (con, fc);
+            } else {
+                let best = simplex[0].0;
+                for s in simplex.iter_mut().skip(1) {
+                    for i in 0..3 {
+                        s.0[i] = best[i] + 0.5 * (s.0[i] - best[i]);
+                    }
+                    s.1 = f(&s.0);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    (simplex[0].0, simplex[0].1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqisc_qmath::gates as qg;
+    use reqisc_qmath::haar_su4;
+
+    #[test]
+    fn min_cnot_classes() {
+        assert_eq!(min_cnots(&WeylCoord::identity()), 0);
+        assert_eq!(min_cnots(&WeylCoord::cnot()), 1);
+        assert_eq!(min_cnots(&WeylCoord::sqisw()), 2);
+        assert_eq!(min_cnots(&WeylCoord::b_gate()), 2);
+        assert_eq!(min_cnots(&WeylCoord::swap()), 3);
+        assert_eq!(min_cnots(&WeylCoord::ecp()), 3);
+    }
+
+    #[test]
+    fn local_gate_needs_zero() {
+        let t = qg::hadamard().kron(&qg::t_gate());
+        let (r, k) = synthesize_to_cnots(&t).unwrap();
+        assert_eq!(k, 0);
+        assert!(r.infidelity < 1e-10);
+    }
+
+    #[test]
+    fn cz_needs_one() {
+        let (r, k) = synthesize_to_cnots(&qg::cz()).unwrap();
+        assert_eq!(k, 1);
+        assert!(r.infidelity < 1e-10);
+    }
+
+    #[test]
+    fn b_gate_needs_two() {
+        let (r, k) = synthesize_to_cnots(&qg::b_gate()).unwrap();
+        assert_eq!(k, 2);
+        assert!(r.infidelity < 1e-9);
+    }
+
+    #[test]
+    fn swap_needs_three() {
+        let (r, k) = synthesize_to_cnots(&qg::swap()).unwrap();
+        assert_eq!(k, 3);
+        assert!(r.infidelity < 1e-9);
+    }
+
+    #[test]
+    fn haar_random_needs_three_and_reconstructs() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..3 {
+            let t = haar_su4(&mut rng);
+            let (r, k) = synthesize_to_cnots(&t).unwrap();
+            assert_eq!(k, 3);
+            let u = r.unitary(2);
+            let inf = 1.0 - t.hs_inner(&u).abs() / 4.0;
+            assert!(inf < 1e-9, "infidelity {inf}");
+        }
+    }
+}

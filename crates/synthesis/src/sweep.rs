@@ -1,0 +1,293 @@
+//! Environment-sweep instantiation of SU(4)-block circuits.
+//!
+//! Given a target `2^n × 2^n` unitary and a fixed *structure* (an ordered
+//! list of qubit pairs, each carrying one arbitrary SU(4) block), the sweep
+//! alternately re-optimizes each block in closed form: with all other
+//! blocks fixed, the fidelity `Re Tr(U†·C)` is linear in the block, and the
+//! optimal block is the unitary polar factor of its "environment" matrix.
+//! This is the numerical engine behind the paper's approximate synthesis
+//! (§5.1.1), reaching machine-precision infidelity when the structure is
+//! expressive enough.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reqisc_qcircuit::embed;
+use reqisc_qmath::{haar_unitary, polar_unitary, CMat, C64};
+
+/// An ordered list of qubit pairs, one per SU(4) block.
+pub type Structure = Vec<(usize, usize)>;
+
+/// A structure instantiated with concrete SU(4) blocks.
+#[derive(Debug, Clone)]
+pub struct BlockCircuit {
+    /// Register width.
+    pub num_qubits: usize,
+    /// `(pair, block)` in execution order.
+    pub blocks: Vec<((usize, usize), CMat)>,
+}
+
+impl BlockCircuit {
+    /// The full unitary `G_{m-1}···G_0` of the block sequence.
+    pub fn unitary(&self) -> CMat {
+        let dim = 1usize << self.num_qubits;
+        let mut u = CMat::identity(dim);
+        for ((a, b), g) in &self.blocks {
+            u = embed(g, &[*a, *b], self.num_qubits).mul_mat(&u);
+        }
+        u
+    }
+
+    /// Number of SU(4) blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the circuit has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Process infidelity `1 − |Tr(target†·C)|/2^n` against a target.
+    pub fn infidelity(&self, target: &CMat) -> f64 {
+        let dim = 1usize << self.num_qubits;
+        (1.0 - target.hs_inner(&self.unitary()).abs() / dim as f64).max(0.0)
+    }
+}
+
+/// Result of one instantiation attempt.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The optimized blocks.
+    pub circuit: BlockCircuit,
+    /// Final process infidelity against the target.
+    pub infidelity: f64,
+    /// Sweeps executed.
+    pub sweeps: usize,
+}
+
+/// Options for [`instantiate`].
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Maximum alternating sweeps per restart.
+    pub max_sweeps: usize,
+    /// Stop when infidelity falls below this.
+    pub target_infidelity: f64,
+    /// Random restarts (the first start is always identity blocks).
+    pub restarts: usize,
+    /// RNG seed for the random restarts.
+    pub seed: u64,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self { max_sweeps: 300, target_infidelity: 1e-11, restarts: 4, seed: 7 }
+    }
+}
+
+/// Optimizes the blocks of `structure` to approximate `target` on
+/// `num_qubits` qubits.
+///
+/// # Panics
+///
+/// Panics if `target` is not `2^num_qubits`-dimensional or a pair index is
+/// out of range.
+pub fn instantiate(
+    target: &CMat,
+    structure: &[(usize, usize)],
+    num_qubits: usize,
+    opts: &SweepOptions,
+) -> SweepResult {
+    let dim = 1usize << num_qubits;
+    assert_eq!(target.rows(), dim, "target dimension mismatch");
+    for &(a, b) in structure {
+        assert!(a < num_qubits && b < num_qubits && a != b, "bad pair ({a},{b})");
+    }
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut best: Option<SweepResult> = None;
+    for restart in 0..=opts.restarts {
+        let init: Vec<CMat> = if restart == 0 {
+            vec![CMat::identity(4); structure.len()]
+        } else {
+            (0..structure.len()).map(|_| haar_unitary(4, &mut rng)).collect()
+        };
+        let r = sweep_once(target, structure, num_qubits, init, opts);
+        let better = best.as_ref().map_or(true, |b| r.infidelity < b.infidelity);
+        if better {
+            best = Some(r);
+        }
+        if best.as_ref().unwrap().infidelity <= opts.target_infidelity {
+            break;
+        }
+    }
+    best.expect("at least one restart ran")
+}
+
+fn sweep_once(
+    target: &CMat,
+    structure: &[(usize, usize)],
+    num_qubits: usize,
+    mut blocks: Vec<CMat>,
+    opts: &SweepOptions,
+) -> SweepResult {
+    let dim = 1usize << num_qubits;
+    let m = structure.len();
+    let udag = target.adjoint();
+    let mut sweeps = 0;
+    let mut last = f64::INFINITY;
+    for s in 0..opts.max_sweeps {
+        sweeps = s + 1;
+        // Prefix products R_k = G_{k-1}···G_0 and suffixes L_k = G_{m-1}···G_{k+1}.
+        let mut prefix = vec![CMat::identity(dim)];
+        for k in 0..m {
+            let g = embed(&blocks[k], &[structure[k].0, structure[k].1], num_qubits);
+            prefix.push(g.mul_mat(&prefix[k]));
+        }
+        let mut suffix = vec![CMat::identity(dim); m + 1];
+        for k in (0..m).rev() {
+            let g = embed(&blocks[k], &[structure[k].0, structure[k].1], num_qubits);
+            suffix[k] = suffix[k + 1].mul_mat(&g);
+        }
+        for k in 0..m {
+            // M = R_k · U† · L_k ; environment N_ij = Σ_ctx M[(ctx,j)][(ctx,i)].
+            let mmat = prefix[k].mul_mat(&udag).mul_mat(&suffix[k + 1]);
+            let env = partial_trace_env(&mmat, structure[k], num_qubits);
+            // Optimal block maximizing Re Tr(B·envᵀ) = Re Tr((conj(env))†·B):
+            // the unitary polar factor of conj(env).
+            blocks[k] = polar_unitary(&env.conj());
+            // Refresh prefix for subsequent blocks in this sweep.
+            let g = embed(&blocks[k], &[structure[k].0, structure[k].1], num_qubits);
+            prefix[k + 1] = g.mul_mat(&prefix[k]);
+            // Suffixes for earlier indices are unused for j > k in this
+            // sweep, so only prefix needs the refresh.
+        }
+        // Recompute suffixes lazily next sweep; track convergence.
+        let c = BlockCircuit {
+            num_qubits,
+            blocks: structure.iter().copied().zip(blocks.iter().cloned()).collect(),
+        };
+        let inf = c.infidelity(target);
+        if inf <= opts.target_infidelity || (last - inf).abs() < 1e-16 {
+            return SweepResult { circuit: c, infidelity: inf, sweeps };
+        }
+        last = inf;
+    }
+    let c = BlockCircuit {
+        num_qubits,
+        blocks: structure.iter().copied().zip(blocks.iter().cloned()).collect(),
+    };
+    let inf = c.infidelity(target);
+    SweepResult { circuit: c, infidelity: inf, sweeps }
+}
+
+/// Environment of a block: `N[i][j] = Σ_ctx M[(ctx,j)][(ctx,i)]` so that
+/// `Tr(emb(B)·M) = Tr(B·Nᵀ) = Σ_ij B_ij·N_ij`.
+fn partial_trace_env(m: &CMat, pair: (usize, usize), num_qubits: usize) -> CMat {
+    let n = num_qubits;
+    let shifts = [n - 1 - pair.0, n - 1 - pair.1];
+    let rest: Vec<usize> = (0..n)
+        .filter(|&q| q != pair.0 && q != pair.1)
+        .map(|q| n - 1 - q)
+        .collect();
+    let mut env = CMat::zeros(4, 4);
+    for ctx in 0..(1usize << rest.len()) {
+        let mut base = 0usize;
+        for (bi, &sh) in rest.iter().enumerate() {
+            if (ctx >> bi) & 1 == 1 {
+                base |= 1 << sh;
+            }
+        }
+        for i in 0..4usize {
+            let row_i = base
+                | (((i >> 1) & 1) << shifts[0])
+                | ((i & 1) << shifts[1]);
+            for j in 0..4usize {
+                let row_j = base
+                    | (((j >> 1) & 1) << shifts[0])
+                    | ((j & 1) << shifts[1]);
+                env[(i, j)] += m[(row_j, row_i)];
+            }
+        }
+    }
+    env
+}
+
+const _: C64 = reqisc_qmath::c64::ONE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use reqisc_qmath::gates as qg;
+
+    #[test]
+    fn single_block_recovers_su4_target() {
+        // A 2Q target with a single block must reach machine precision in
+        // one polar update.
+        let mut rng = StdRng::seed_from_u64(3);
+        let target = haar_unitary(4, &mut rng);
+        let r = instantiate(&target, &[(0, 1)], 2, &SweepOptions::default());
+        assert!(r.infidelity < 1e-12, "infidelity {}", r.infidelity);
+    }
+
+    #[test]
+    fn product_of_two_blocks_on_3q() {
+        // Target built from a known 2-block structure is exactly recovered.
+        let mut rng = StdRng::seed_from_u64(5);
+        let g1 = haar_unitary(4, &mut rng);
+        let g2 = haar_unitary(4, &mut rng);
+        let target = embed(&g2, &[1, 2], 3).mul_mat(&embed(&g1, &[0, 1], 3));
+        let r = instantiate(&target, &[(0, 1), (1, 2)], 3, &SweepOptions::default());
+        assert!(r.infidelity < 1e-10, "infidelity {}", r.infidelity);
+    }
+
+    #[test]
+    fn ccx_with_five_blocks() {
+        // Toffoli is synthesizable with 5 arbitrary 2Q gates.
+        let mut c = reqisc_qcircuit::Circuit::new(3);
+        c.push(reqisc_qcircuit::Gate::Ccx(0, 1, 2));
+        let target = c.unitary();
+        let structure = vec![(1, 2), (0, 2), (1, 2), (0, 2), (0, 1)];
+        let r = instantiate(&target, &structure, 3, &SweepOptions::default());
+        assert!(r.infidelity < 1e-9, "infidelity {}", r.infidelity);
+        // The instantiated circuit reproduces CCX up to global phase.
+        let diff = 1.0 - target.hs_inner(&r.circuit.unitary()).abs() / 8.0;
+        assert!(diff < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_structure_reports_high_infidelity() {
+        // One block on (0,1) cannot produce an entangler on (0,2).
+        let target = embed(&qg::cnot(), &[0, 2], 3);
+        let r = instantiate(&target, &[(0, 1)], 3, &SweepOptions::default());
+        assert!(r.infidelity > 1e-3, "should not converge: {}", r.infidelity);
+    }
+
+    #[test]
+    fn environment_gradient_consistency() {
+        // Numerically verify: Tr(emb(B)·M) == Tr(B·Nᵀ) for random inputs.
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = CMat::from_fn(8, 8, |_, _| {
+            C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        let b = haar_unitary(4, &mut rng);
+        for pair in [(0usize, 1usize), (1, 2), (0, 2)] {
+            let env = partial_trace_env(&m, pair, 3);
+            let lhs = embed(&b, &[pair.0, pair.1], 3).mul_mat(&m).trace();
+            let rhs: C64 = (0..4)
+                .flat_map(|i| (0..4).map(move |j| (i, j)))
+                .map(|(i, j)| b[(i, j)] * env[(i, j)])
+                .sum();
+            assert!(lhs.dist(rhs) < 1e-10, "env mismatch for {pair:?}");
+        }
+    }
+
+    #[test]
+    fn reversed_pair_order_in_structure() {
+        // Pairs like (2, 0) (high qubit first) must work too.
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = haar_unitary(4, &mut rng);
+        let target = embed(&g, &[2, 0], 3);
+        let r = instantiate(&target, &[(2, 0)], 3, &SweepOptions::default());
+        assert!(r.infidelity < 1e-11);
+    }
+}

@@ -1,0 +1,65 @@
+//! Bring-your-own Hamiltonian: realize arbitrary two-qubit gates natively
+//! on three different device couplings with the genAshN scheme, including
+//! the exact 1Q corrections (paper Algorithm 1 end-to-end).
+//!
+//! ```sh
+//! cargo run --release --example pulse_programming
+//! ```
+
+use rand::SeedableRng;
+use reqisc::microarch::{normal_form, realize_gate, Coupling};
+use reqisc::qmath::gates as qg;
+use reqisc::qmath::{haar_su4, CMat, C64};
+
+fn show(name: &str, cp: &Coupling, target: &CMat) {
+    match realize_gate(cp, target) {
+        Ok(r) => {
+            let rec = r.reconstruct(cp);
+            println!(
+                "{name:<18} tau = {:.4}  |Ω1| = {:.3}  |Ω2| = {:.3}  |δ| = {:.3}  residual = {:.1e}",
+                r.pulse.tau,
+                r.pulse.params.omega1.abs(),
+                r.pulse.params.omega2.abs(),
+                r.pulse.params.delta.abs(),
+                rec.max_dist(target)
+            );
+        }
+        Err(e) => println!("{name:<18} failed: {e}"),
+    }
+}
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+    let random_gate = haar_su4(&mut rng);
+
+    for (label, cp) in [
+        ("XY coupling (transmons)", Coupling::xy(1.0)),
+        ("XX coupling (trapped ions)", Coupling::xx(1.0)),
+        ("anisotropic (a,b,c)=(1,.6,-.2)", Coupling::new(1.0, 0.6, -0.2)),
+    ] {
+        println!("== {label} ==");
+        show("CNOT", &cp, &qg::cnot());
+        show("iSWAP", &cp, &qg::iswap());
+        show("SWAP", &cp, &qg::swap());
+        show("B gate", &cp, &qg::b_gate());
+        show("Haar-random SU(4)", &cp, &random_gate);
+        println!();
+    }
+
+    // The scheme accepts *arbitrary* coupling Hamiltonians: here the
+    // lab-frame Hamiltonian of paper Eq. (7), with local Z terms, is
+    // brought into normal form first.
+    let zi = qg::pauli_z().kron(&qg::id2());
+    let iz = qg::id2().kron(&qg::pauli_z());
+    let xx = qg::pauli_x().kron(&qg::pauli_x());
+    let lab_frame = &(&zi.scale(C64::real(-0.8)) + &iz.scale(C64::real(-0.6)))
+        + &xx.scale(C64::real(1.0));
+    let nf = normal_form(&lab_frame).expect("normalizable");
+    println!(
+        "lab-frame Eq.(7) normal form: (a, b, c) = ({:.3}, {:.3}, {:.3}), residual {:.1e}",
+        nf.coupling.a,
+        nf.coupling.b,
+        nf.coupling.c,
+        nf.reconstruct().max_dist(&lab_frame)
+    );
+}

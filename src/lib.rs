@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! # reqisc
+//!
+//! Facade crate for the ReQISC reproduction: re-exports the full stack so
+//! downstream users (and the `examples/`) can depend on a single crate.
+//!
+//! * [`qmath`] — linear algebra, KAK decomposition, Weyl chamber.
+//! * [`qcircuit`] — gates, circuits, DAGs.
+//! * [`qsim`] — state-vector and noisy simulation.
+//! * [`microarch`] — the genAshN gate scheme (paper §4 / Algorithm 1).
+//! * [`synthesis`] — approximate synthesis and the 3Q template library.
+//! * [`compiler`] — the Regulus compiler pipelines and baselines.
+//! * [`benchsuite`] — the 17-category benchmark generators (Table 1).
+
+pub use reqisc_benchsuite as benchsuite;
+pub use reqisc_compiler as compiler;
+pub use reqisc_microarch as microarch;
+pub use reqisc_qcircuit as qcircuit;
+pub use reqisc_qmath as qmath;
+pub use reqisc_qsim as qsim;
+pub use reqisc_synthesis as synthesis;

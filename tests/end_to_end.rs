@@ -1,0 +1,104 @@
+//! Cross-crate integration: real benchmark programs through the full
+//! compile → verify → simulate stack.
+
+use reqisc::benchsuite::{mini_suite, Category};
+use reqisc::compiler::{metrics, Compiler, Pipeline};
+use reqisc::microarch::Coupling;
+use reqisc::qsim::{circuit_unitary, process_infidelity};
+use std::sync::OnceLock;
+
+fn compiler() -> &'static Compiler {
+    static C: OnceLock<Compiler> = OnceLock::new();
+    C.get_or_init(Compiler::new)
+}
+
+#[test]
+fn every_category_compiles_equivalently_under_reqisc_full() {
+    for b in mini_suite() {
+        if b.circuit.num_qubits() > 8 {
+            continue; // dense verification cap
+        }
+        let out = compiler().compile(&b.circuit, Pipeline::ReqiscFull);
+        let inf = process_infidelity(
+            &circuit_unitary(&b.circuit.lowered_to_cx()),
+            &circuit_unitary(&out),
+        );
+        assert!(inf < 1e-6, "{}: infidelity {inf}", b.name);
+    }
+}
+
+#[test]
+fn every_category_compiles_equivalently_under_baselines() {
+    for b in mini_suite() {
+        if b.circuit.num_qubits() > 8 {
+            continue;
+        }
+        let orig = circuit_unitary(&b.circuit.lowered_to_cx());
+        for p in [Pipeline::Qiskit, Pipeline::Tket] {
+            let out = compiler().compile(&b.circuit, p);
+            let inf = process_infidelity(&orig, &circuit_unitary(&out));
+            assert!(inf < 1e-6, "{} via {}: infidelity {inf}", b.name, p.name());
+        }
+    }
+}
+
+#[test]
+fn reqisc_dominates_baselines_on_type1_counts() {
+    let cp = Coupling::xy(1.0);
+    let mut wins = 0;
+    let mut total = 0;
+    for b in mini_suite() {
+        if !b.category.is_type1() || b.circuit.num_qubits() > 10 {
+            continue;
+        }
+        let q = metrics(&compiler().compile(&b.circuit, Pipeline::Qiskit), &cp);
+        let full = metrics(&compiler().compile(&b.circuit, Pipeline::ReqiscFull), &cp);
+        total += 1;
+        if full.count_2q <= q.count_2q {
+            wins += 1;
+        }
+        assert!(
+            full.duration <= q.duration * 1.05,
+            "{}: ReQISC duration {} vs Qiskit {}",
+            b.name,
+            full.duration,
+            q.duration
+        );
+    }
+    assert!(total > 5, "not enough Type-I programs covered");
+    assert!(
+        wins * 10 >= total * 9,
+        "ReQISC-Full lost #2Q on too many programs: {wins}/{total}"
+    );
+}
+
+#[test]
+fn duration_reductions_match_paper_scale() {
+    // The paper reports 40–90% duration reductions; check the mini suite
+    // average lands in a compatible band (> 30%).
+    let cp = Coupling::xy(1.0);
+    let mut reductions = Vec::new();
+    for b in mini_suite() {
+        let orig = metrics(&b.circuit.lowered_to_cx(), &cp);
+        let full = metrics(&compiler().compile(&b.circuit, Pipeline::ReqiscFull), &cp);
+        if orig.duration > 0.0 {
+            reductions.push(1.0 - full.duration / orig.duration);
+        }
+    }
+    let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
+    assert!(avg > 0.3, "average duration reduction too small: {avg}");
+}
+
+#[test]
+fn qaoa_profits_from_rzz_native_su4() {
+    // Type-II: each Rzz is already one SU(4); the CNOT baseline pays 2 CX
+    // per Rzz.
+    let cp = Coupling::xy(1.0);
+    let b = mini_suite()
+        .into_iter()
+        .find(|b| b.category == Category::Qaoa)
+        .unwrap();
+    let q = metrics(&compiler().compile(&b.circuit, Pipeline::Qiskit), &cp);
+    let eff = metrics(&compiler().compile(&b.circuit, Pipeline::ReqiscEff), &cp);
+    assert!(eff.count_2q < q.count_2q, "eff {} vs qiskit {}", eff.count_2q, q.count_2q);
+}

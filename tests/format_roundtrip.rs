@@ -1,0 +1,32 @@
+//! Integration: QASM-lite serialization round-trips compiled output, so
+//! bench artifacts can be stored and re-loaded.
+
+use reqisc::benchsuite::mini_suite;
+use reqisc::compiler::{Compiler, Pipeline};
+use reqisc::qcircuit::{emit, parse};
+use reqisc::qsim::{circuit_unitary, process_infidelity};
+
+#[test]
+fn compiled_su4_circuits_roundtrip_through_qasm_lite() {
+    let compiler = Compiler::new();
+    for b in mini_suite().into_iter().take(6) {
+        if b.circuit.num_qubits() > 8 {
+            continue;
+        }
+        let out = compiler.compile(&b.circuit, Pipeline::ReqiscEff);
+        let text = emit(&out);
+        let back = parse(&text).unwrap_or_else(|e| panic!("{}: parse failed: {e}", b.name));
+        let inf = process_infidelity(&circuit_unitary(&out), &circuit_unitary(&back));
+        assert!(inf < 1e-10, "{}: roundtrip infidelity {inf}", b.name);
+    }
+}
+
+#[test]
+fn high_level_programs_roundtrip_too() {
+    for b in mini_suite() {
+        let text = emit(&b.circuit);
+        let back = parse(&text).unwrap_or_else(|e| panic!("{}: parse failed: {e}", b.name));
+        assert_eq!(back.len(), b.circuit.len(), "{}", b.name);
+        assert_eq!(back.num_qubits(), b.circuit.num_qubits());
+    }
+}

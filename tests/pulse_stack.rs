@@ -1,0 +1,100 @@
+//! Integration: compiled SU(4) circuits are *executable* — every distinct
+//! SU(4) instruction a program needs has a verified genAshN pulse program
+//! on representative hardware couplings (the full Fig. 2 workflow).
+
+use reqisc::benchsuite::mini_suite;
+use reqisc::compiler::{Compiler, Pipeline};
+use reqisc::microarch::{realize_gate, solve_with_mirroring, Coupling, DEFAULT_MIRROR_THRESHOLD};
+use reqisc::qcircuit::Gate;
+use reqisc::qmath::{weyl_coords, WeylCoord};
+
+#[test]
+fn compiled_programs_are_pulse_realizable() {
+    let compiler = Compiler::new();
+    let cps = [Coupling::xy(1.0), Coupling::xx(1.0)];
+    // A few representative programs keep runtime bounded.
+    for b in mini_suite().into_iter().take(5) {
+        let out = compiler.compile(&b.circuit, Pipeline::ReqiscEff);
+        // Collect distinct Weyl classes.
+        let mut classes: Vec<WeylCoord> = Vec::new();
+        for g in out.gates() {
+            if !g.is_2q() {
+                continue;
+            }
+            let w = match g {
+                Gate::Su4(_, _, m) => weyl_coords(m).unwrap(),
+                Gate::Can(_, _, w) => *w,
+                other => weyl_coords(&other.matrix()).unwrap(),
+            };
+            if !classes.iter().any(|k| k.approx_eq(&w, 1e-7)) {
+                classes.push(w);
+            }
+        }
+        assert!(!classes.is_empty(), "{}: no 2Q instructions?", b.name);
+        for cp in &cps {
+            for w in &classes {
+                let sol = solve_with_mirroring(cp, w, DEFAULT_MIRROR_THRESHOLD)
+                    .unwrap_or_else(|e| panic!("{}: {w} unsolvable: {e}", b.name));
+                assert!(
+                    sol.pulse.residual < 1e-6,
+                    "{}: pulse residual {} for {w}",
+                    b.name,
+                    sol.pulse.residual
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_gate_realization_with_corrections() {
+    // Full Algorithm 1 (with 1Q corrections) on the workhorse gates under
+    // both couplings.
+    use reqisc::qmath::gates as qg;
+    for cp in [Coupling::xy(1.0), Coupling::xx(1.0)] {
+        for (name, u) in [
+            ("cnot", qg::cnot()),
+            ("cz", qg::cz()),
+            ("iswap", qg::iswap()),
+            ("sqisw", qg::sqisw()),
+            ("b", qg::b_gate()),
+            ("swap", qg::swap()),
+        ] {
+            let r = realize_gate(&cp, &u).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let rec = r.reconstruct(&cp);
+            assert!(
+                rec.approx_eq(&u, 1e-6),
+                "{name}: reconstruction residual {:.2e}",
+                rec.max_dist(&u)
+            );
+        }
+    }
+}
+
+#[test]
+fn near_identity_instructions_come_back_mirrored() {
+    // QFT's smallest controlled-phase rotations are near-identity; the
+    // microarchitecture must mirror them rather than demand unbounded
+    // amplitude.
+    let qft = reqisc::benchsuite::generators::qft(8);
+    let compiler = Compiler::new();
+    let out = compiler.compile(&qft, Pipeline::ReqiscEff);
+    let cp = Coupling::xy(1.0);
+    let mut mirrored = 0;
+    for g in out.gates() {
+        if !g.is_2q() {
+            continue;
+        }
+        let w = weyl_coords(&g.matrix()).unwrap();
+        if w.l1_norm() < 1e-9 {
+            continue;
+        }
+        let sol = solve_with_mirroring(&cp, &w, DEFAULT_MIRROR_THRESHOLD).unwrap();
+        if sol.swapped {
+            mirrored += 1;
+            // Mirrored pulses stay amplitude-bounded.
+            assert!(sol.pulse.params.penalty() < 40.0);
+        }
+    }
+    assert!(mirrored > 0, "QFT-8 should contain near-identity rotations");
+}
