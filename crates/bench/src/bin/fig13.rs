@@ -20,8 +20,10 @@ fn main() {
         }
         let eff = compiler.compile(&b.circuit, Pipeline::ReqiscEff);
         let full = compiler.compile(&b.circuit, Pipeline::ReqiscFull);
-        let de = distinct_su4_count(&eff, 1e-7);
-        let df = distinct_su4_count(&full, 1e-7);
+        // Group at 1e-5: the synthesis sweep leaves ~1e-6 coordinate
+        // noise, so a tighter tolerance over-splits identical instructions.
+        let de = distinct_su4_count(&eff, 1e-5);
+        let df = distinct_su4_count(&full, 1e-5);
         eff_counts.push(de);
         full_counts.push(df);
         println!(

@@ -73,11 +73,7 @@ pub fn qiskit_like(c: &Circuit) -> Circuit {
 
 /// Merges commuting `Rzz` rotations on the same pair (PauliSimp-lite).
 pub fn merge_pauli_rotations(c: &Circuit) -> Circuit {
-    let merged = compact(
-        c,
-        &CompactOptions { tol: 1e-10, window: 64, max_passes: 4 },
-    );
-    merged
+    compact(c, &CompactOptions { tol: 1e-10, window: 64, max_passes: 4 })
 }
 
 /// The TKet-like pipeline: Pauli-gadget simplification, then the standard

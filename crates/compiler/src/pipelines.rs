@@ -252,11 +252,14 @@ mod tests {
     #[test]
     fn calibration_counts() {
         let c = toffoli_chain();
+        // Group at 1e-5: the synthesis sweep stops at infidelity ~1e-11,
+        // which leaves per-run Weyl-coordinate noise of order 1e-6, so a
+        // tighter tolerance over-splits identical gate classes.
         let eff = compiler().compile(&c, Pipeline::ReqiscEff);
-        let n_eff = distinct_su4_count(&eff, 1e-7);
+        let n_eff = distinct_su4_count(&eff, 1e-5);
         assert!(n_eff > 0 && n_eff < 12, "eff distinct = {n_eff}");
         let bq = compiler().compile(&c, Pipeline::BqskitSu4);
-        let n_bq = distinct_su4_count(&bq, 1e-7);
+        let n_bq = distinct_su4_count(&bq, 1e-5);
         // BQSKit-style synthesis produces (at least as) diverse gates.
         assert!(n_bq + 2 >= n_eff, "bqskit {n_bq} vs eff {n_eff}");
     }

@@ -165,7 +165,12 @@ pub fn kak_decompose(u: &CMat) -> Result<Kak, KakError> {
         });
     }
     if !kak.coords.in_chamber() {
-        return Err(KakError { message: format!("coords {} not canonical", kak.coords) });
+        return Err(KakError {
+            message: format!(
+                "coords {} = ({:e}, {:e}, {:e}) not canonical",
+                kak.coords, kak.coords.x, kak.coords.y, kak.coords.z
+            ),
+        });
     }
     Ok(kak)
 }
@@ -211,7 +216,9 @@ fn det_real4(a: &[f64]) -> f64 {
 
 // --- canonicalization ------------------------------------------------------
 
-/// In-place coordinate moves. Each preserves `kak.reconstruct()` exactly.
+/// In-place coordinate moves. Each individual move preserves
+/// `kak.reconstruct()` exactly; the face pin in [`canonicalize`] is the one
+/// exception (see below).
 struct Canon<'a> {
     k: &'a mut Kak,
 }
@@ -292,7 +299,9 @@ impl Canon<'_> {
 }
 
 /// Moves the coordinates of `kak` into the canonical Weyl chamber while
-/// preserving the reconstructed unitary.
+/// preserving the reconstructed unitary up to ~1e-8: coordinates within
+/// 1e-8 of the `x = π/4` face are pinned to it, perturbing reconstruction
+/// by at most that much (exact everywhere else).
 fn canonicalize(kak: &mut Kak) {
     let mut c = Canon { k: kak };
     for _round in 0..4 {
@@ -332,6 +341,13 @@ fn canonicalize(kak: &mut Kak) {
             // (π/4, y, z<0) → negate (x,z) → (-π/4, y, -z) → shift x up.
             c.negate_other_two(1);
             c.shift(0, 1.0);
+            // x is only known to be on the face within the 1e-8 tolerance
+            // above, and the transform maps x = π/4 - δ to π/4 + δ, which
+            // `in_chamber` (tolerance WEYL_EPS = 1e-9) rejects — folding it
+            // back just oscillates. The gate is numerically *on* the face,
+            // so pin the coordinate there (perturbs reconstruction by ≤ 1e-8,
+            // far inside every consumer's tolerance).
+            *c.coord_mut(0) = FRAC_PI_4;
         }
         if c.k.coords.in_chamber() {
             break;

@@ -134,7 +134,7 @@ fn search_core(tw: &WeylCoord, basis: &CMat, count: usize) -> Option<Vec<(Vec<us
         } else {
             (p0, r0)
         };
-        if best.as_ref().map_or(true, |(_, br)| r < *br) {
+        if best.as_ref().is_none_or(|(_, br)| r < *br) {
             best = Some((p, r));
         }
         if best.as_ref().unwrap().1 < 1e-10 {

@@ -118,7 +118,7 @@ pub fn instantiate_skeleton(
             slots: blocks.into_iter().map(|(qs, g, _)| (qs, g)).collect(),
             infidelity: inf,
         };
-        let better = best.as_ref().map_or(true, |b| r.infidelity < b.infidelity);
+        let better = best.as_ref().is_none_or(|b| r.infidelity < b.infidelity);
         if better {
             best = Some(r);
         }
@@ -195,7 +195,6 @@ pub fn synthesize_to_cnots(target: &CMat) -> Result<(SkeletonResult, usize), f64
                 (vec![0, 1], cnot()),
             ]
             .into_iter()
-            .map(|(q, m)| (q, m))
             .collect::<Vec<_>>()
             .tap_check(&mid)
         }
@@ -288,7 +287,7 @@ fn three_cnot_core(w: &WeylCoord) -> Option<Vec<(Vec<usize>, CMat)>> {
     let mut best: Option<([f64; 3], f64)> = None;
     for init in inits {
         let (p, r) = nelder_mead_3d(&objective, init, 0.3, 400);
-        if best.as_ref().map_or(true, |(_, br)| r < *br) {
+        if best.as_ref().is_none_or(|(_, br)| r < *br) {
             best = Some((p, r));
         }
         if best.as_ref().unwrap().1 < 1e-10 {

@@ -111,7 +111,7 @@ pub fn instantiate(
             (0..structure.len()).map(|_| haar_unitary(4, &mut rng)).collect()
         };
         let r = sweep_once(target, structure, num_qubits, init, opts);
-        let better = best.as_ref().map_or(true, |b| r.infidelity < b.infidelity);
+        let better = best.as_ref().is_none_or(|b| r.infidelity < b.infidelity);
         if better {
             best = Some(r);
         }

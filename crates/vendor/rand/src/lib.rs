@@ -1,0 +1,176 @@
+#![warn(missing_docs)]
+//! Minimal, deterministic, offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! instead of the real `rand` we vendor the tiny API subset the stack
+//! actually uses (the 0.8-era spelling):
+//!
+//! * [`Rng::gen_range`] over integer and float ranges (half-open and
+//!   inclusive),
+//! * [`Rng::gen_bool`],
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`rngs::StdRng`] — implemented as xoshiro256\*\* seeded through
+//!   SplitMix64, which is more than adequate statistically for the
+//!   Haar-sampling and property tests in this workspace.
+//!
+//! Everything is deterministic given the seed; there is no OS entropy
+//! source on purpose (all call sites seed explicitly).
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)` (53-bit mantissa).
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// User-facing sampling helpers (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// A generator seedable from a `u64` (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Deterministically builds the generator from a single `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range types [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from `self`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128) - (self.start as i128);
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                ((self.start as i128) + off) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128) - (lo as i128) + 1;
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                ((lo as i128) + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        let v = self.start + (self.end - self.start) * unit_f64(rng.next_u64());
+        // Guard against rounding up to the excluded endpoint.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty f64 range");
+        lo + (hi - lo) * unit_f64(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let i = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&i));
+            let f = rng.gen_range(-0.5f64..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let g = rng.gen_range(-1.0f64..=1.0);
+            assert!((-1.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn unit_interval_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn dyn_rng_is_object_safe_enough() {
+        fn takes_dyn(rng: &mut dyn super::RngCore) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        takes_dyn(&mut rng);
+    }
+}

@@ -1,0 +1,34 @@
+//! Smoke tests for the `reqisc` facade crate: every re-exported subsystem
+//! resolves, and a trivial program compiles end-to-end through the full
+//! SU(4)-native pipeline.
+
+use reqisc::compiler::{metrics, Compiler, Pipeline};
+use reqisc::microarch::Coupling;
+use reqisc::qcircuit::{Circuit, Gate};
+
+#[test]
+fn all_reexports_resolve() {
+    // One load-bearing symbol per subsystem; failures here are compile
+    // errors, which is the point of the smoke test.
+    let _kak = reqisc::qmath::kak_decompose(&reqisc::qmath::gates::cnot()).unwrap();
+    let _circ = reqisc::qcircuit::Circuit::new(2);
+    let _sv = reqisc::qsim::StateVector::zero(1);
+    let _cp = reqisc::microarch::Coupling::xy(1.0);
+    let _sw = reqisc::synthesis::SweepOptions::default();
+    let _cc = reqisc::compiler::Compiler::new();
+    let _suite = reqisc::benchsuite::mini_suite();
+}
+
+#[test]
+fn ccx_compiles_through_reqisc_full() {
+    let mut program = Circuit::new(3);
+    program.push(Gate::Ccx(0, 1, 2));
+    let compiler = Compiler::new();
+    let out = compiler.compile(&program, Pipeline::ReqiscFull);
+    let m = metrics(&out, &Coupling::xy(1.0));
+    // The SU(4)-native pipeline beats the 6-CNOT textbook lowering.
+    assert!(m.count_2q > 0 && m.count_2q <= 5, "count_2q = {}", m.count_2q);
+    // And the result is semantically the Toffoli.
+    let inf = reqisc::qsim::process_infidelity(&program.unitary(), &out.unitary());
+    assert!(inf < 1e-6, "infidelity {inf}");
+}
