@@ -1,0 +1,67 @@
+//! Measures the compilation service layer's speedup: the serial,
+//! cache-bypassing path versus [`Compiler::compile_batch`] with a cold
+//! shared cache, versus a warm rerun of the same batch.
+//!
+//! Prints wall-clocks, ratios, and the final [`CompileCache`] counters.
+//! Environment knobs: `REQISC_SCALE=paper` for Table-1-sized programs,
+//! `REQISC_BENCH_N=<k>` to cap the program count (default: the whole
+//! suite, as in fig13), `REQISC_THREADS=<t>` to pin the worker count.
+
+use reqisc_benchsuite::{scale_from_env, suite, Benchmark};
+use reqisc_compiler::{Compiler, Pipeline};
+use reqisc_qcircuit::Circuit;
+use std::time::Instant;
+
+fn main() {
+    let cap: usize = std::env::var("REQISC_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX);
+    let threads: usize = std::env::var("REQISC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let programs: Vec<Benchmark> = suite(scale_from_env())
+        .into_iter()
+        .filter(|b| b.circuit.lowered_to_cx().count_2q() <= 5000)
+        .take(cap)
+        .collect();
+    let pipelines = [Pipeline::ReqiscEff, Pipeline::ReqiscFull];
+    let jobs: Vec<(&Circuit, Pipeline)> = programs
+        .iter()
+        .flat_map(|b| pipelines.iter().map(move |&p| (&b.circuit, p)))
+        .collect();
+    eprintln!("{} programs × {} pipelines = {} jobs", programs.len(), pipelines.len(), jobs.len());
+
+    // 1. Serial cold reference: no memoization at any level.
+    let serial = Compiler::new();
+    let t0 = Instant::now();
+    let serial_out: Vec<Circuit> =
+        jobs.iter().map(|&(c, p)| serial.compile_uncached(c, p)).collect();
+    let t_serial = t0.elapsed().as_secs_f64();
+
+    // 2. Parallel batch, cold shared cache.
+    let batch = Compiler::new();
+    let t1 = Instant::now();
+    let cold_out = batch.compile_batch(&jobs, threads);
+    let t_cold = t1.elapsed().as_secs_f64();
+
+    // 3. Same batch again, warm cache.
+    let t2 = Instant::now();
+    let warm_out = batch.compile_batch(&jobs, threads);
+    let t_warm = t2.elapsed().as_secs_f64();
+
+    assert_eq!(serial_out, cold_out, "batch diverged from the serial reference");
+    assert_eq!(cold_out, warm_out, "warm rerun diverged");
+
+    println!("serial_cold_s,batch_cold_s,batch_warm_s,cold_speedup_x,warm_speedup_x");
+    println!(
+        "{t_serial:.2},{t_cold:.2},{t_warm:.3},{:.2},{:.1}",
+        t_serial / t_cold,
+        t_serial / t_warm.max(1e-9)
+    );
+    let s = batch.cache_stats();
+    println!("# programs: {}", s.programs);
+    println!("# synthesis: {}", s.synthesis);
+    println!("# total: {}", s.total());
+}

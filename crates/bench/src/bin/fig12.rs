@@ -23,6 +23,13 @@ fn topo_for(kind: &str, n: usize) -> Topology {
 fn main() {
     let compiler = Compiler::new();
     let programs: Vec<Benchmark> = mini_suite();
+    // Warm the program pool for both logical pipelines in one parallel
+    // batch; the per-topology loops below then compile from cache.
+    let jobs: Vec<_> = programs
+        .iter()
+        .flat_map(|b| [(&b.circuit, Pipeline::Tket), (&b.circuit, Pipeline::ReqiscFull)])
+        .collect();
+    compiler.compile_batch(&jobs, 0);
     for kind in ["chain", "grid"] {
         println!("## topology: {kind}");
         println!(

@@ -4,26 +4,43 @@
 //!
 //! Expected shape: Eff stays below ~10 distinct SU(4)s; Full stays bounded
 //! (≲ 200) with most programs below ~20.
+//!
+//! The whole suite is compiled in one [`Compiler::compile_batch`] fan-out
+//! sharing the compilation cache; repeated Toffoli/adder blocks across
+//! programs synthesize once. Final cache counters print as comments.
 
-use reqisc_benchsuite::{scale_from_env, suite};
+use reqisc_benchsuite::{scale_from_env, suite, Benchmark};
 use reqisc_compiler::{distinct_su4_count, Compiler, Pipeline};
+use reqisc_qcircuit::Circuit;
+use reqisc_qmath::SU4_CLASS_TOL;
+use std::time::Instant;
 
 fn main() {
     let compiler = Compiler::new();
     println!("program,n2q_original,distinct_eff,n2q_eff,distinct_full,n2q_full");
+    // The paper caps this figure at #2Q ≤ 5000.
+    let programs: Vec<Benchmark> = suite(scale_from_env())
+        .into_iter()
+        .filter(|b| b.circuit.lowered_to_cx().count_2q() <= 5000)
+        .collect();
+    let pipelines = [Pipeline::ReqiscEff, Pipeline::ReqiscFull];
+    let jobs: Vec<(&Circuit, Pipeline)> = programs
+        .iter()
+        .flat_map(|b| pipelines.iter().map(move |&p| (&b.circuit, p)))
+        .collect();
+    let t0 = Instant::now();
+    let outs = compiler.compile_batch(&jobs, 0);
+    let wall = t0.elapsed();
     let mut eff_counts = Vec::new();
     let mut full_counts = Vec::new();
-    for b in suite(scale_from_env()) {
+    for (i, b) in programs.iter().enumerate() {
         let orig = b.circuit.lowered_to_cx().count_2q();
-        if orig > 5000 {
-            continue; // paper caps this figure at #2Q ≤ 5000
-        }
-        let eff = compiler.compile(&b.circuit, Pipeline::ReqiscEff);
-        let full = compiler.compile(&b.circuit, Pipeline::ReqiscFull);
+        let eff = &outs[pipelines.len() * i];
+        let full = &outs[pipelines.len() * i + 1];
         // Group at 1e-5: the synthesis sweep leaves ~1e-6 coordinate
         // noise, so a tighter tolerance over-splits identical instructions.
-        let de = distinct_su4_count(&eff, 1e-5);
-        let df = distinct_su4_count(&full, 1e-5);
+        let de = distinct_su4_count(eff, SU4_CLASS_TOL);
+        let df = distinct_su4_count(full, SU4_CLASS_TOL);
         eff_counts.push(de);
         full_counts.push(df);
         println!(
@@ -35,7 +52,6 @@ fn main() {
             df,
             full.count_2q()
         );
-        eprintln!("done {}", b.name);
     }
     let dist = |v: &[usize]| -> (usize, usize, f64) {
         let max = v.iter().copied().max().unwrap_or(0);
@@ -46,4 +62,8 @@ fn main() {
     let (fmax, _fu, ffrac) = dist(&full_counts);
     println!("# eff: max distinct {emax}, fraction under 20 = {efrac:.2}");
     println!("# full: max distinct {fmax}, fraction under 20 = {ffrac:.2}");
+    println!("# batch wall-clock: {:.2}s over {} jobs", wall.as_secs_f64(), jobs.len());
+    let s = compiler.cache_stats();
+    println!("# cache programs: {}", s.programs);
+    println!("# cache synthesis: {}", s.synthesis);
 }

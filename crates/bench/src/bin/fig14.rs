@@ -6,9 +6,10 @@
 //! BQSKit-SU(4) competitive on count but with exploding distinct-SU(4)
 //! numbers; NC loses part of Full's reduction.
 
-use reqisc_bench::{metric, overall_reduction, run_benchmark, Record};
+use reqisc_bench::{metric, overall_reduction, run_benchmarks_batch, Record};
 use reqisc_benchsuite::mini_suite;
 use reqisc_compiler::{distinct_su4_count, Compiler, Pipeline};
+use reqisc_qmath::SU4_CLASS_TOL;
 
 fn main() {
     let compiler = Compiler::new();
@@ -19,10 +20,12 @@ fn main() {
         Pipeline::ReqiscNc,
         Pipeline::ReqiscFull,
     ];
-    let mut records: Vec<Record> = Vec::new();
     println!("program,n2q_orig,qiskit_su4,tket_su4,bqskit_su4,reqisc_nc,reqisc_full,distinct_bqskit,distinct_full");
-    for b in mini_suite() {
-        let r = run_benchmark(&compiler, &b, &pipelines);
+    let programs = mini_suite();
+    // One shared-cache batch; the per-program distinct-SU(4) recompiles
+    // below then hit the program pool instead of recompiling.
+    let records: Vec<Record> = run_benchmarks_batch(&compiler, &programs, &pipelines, 0);
+    for (b, r) in programs.iter().zip(&records) {
         let bq = compiler.compile(&b.circuit, Pipeline::BqskitSu4);
         let full = compiler.compile(&b.circuit, Pipeline::ReqiscFull);
         println!(
@@ -36,11 +39,9 @@ fn main() {
             r.compiled["reqisc-full"].count_2q,
             // 1e-5 grouping: see distinct_su4_count consumers note in
             // ROADMAP (synthesis noise is ~1e-6 in the coordinates).
-            distinct_su4_count(&bq, 1e-5),
-            distinct_su4_count(&full, 1e-5),
+            distinct_su4_count(&bq, SU4_CLASS_TOL),
+            distinct_su4_count(&full, SU4_CLASS_TOL),
         );
-        eprintln!("done {}", b.name);
-        records.push(r);
     }
     println!("# average #2Q reduction vs original (%):");
     for p in ["qiskit-su4", "tket-su4", "bqskit-su4", "reqisc-nc", "reqisc-full"] {

@@ -9,7 +9,7 @@
 //! columns. Expected shape: ReQISC-Eff/Full dominate everywhere, Full ≥
 //! Eff, overall duration reduction ≈ 60–75%.
 
-use reqisc_bench::{category_reductions, metric, overall_reduction, run_benchmark, Record};
+use reqisc_bench::{category_reductions, metric, overall_reduction, run_benchmarks_batch, Record};
 use reqisc_benchsuite::{scale_from_env, suite, ALL_CATEGORIES};
 use reqisc_compiler::{Compiler, Pipeline};
 
@@ -22,11 +22,10 @@ fn main() {
         Pipeline::ReqiscEff,
         Pipeline::ReqiscFull,
     ];
-    let mut records: Vec<Record> = Vec::new();
-    for b in suite(scale) {
-        records.push(run_benchmark(&compiler, &b, &pipelines));
-        eprintln!("compiled {}", records.last().unwrap().name);
-    }
+    // One shared-cache batch over the whole suite × pipeline product.
+    let programs = suite(scale);
+    let records: Vec<Record> = run_benchmarks_batch(&compiler, &programs, &pipelines, 0);
+    eprintln!("compiled {} programs; cache:\n{}", records.len(), compiler.cache_stats());
     let cols: [(&str, &'static str); 4] = [
         ("qiskit", "qiskit"),
         ("tket", "tket"),

@@ -12,6 +12,7 @@
 use reqisc_benchsuite::{Benchmark, Category};
 use reqisc_compiler::{metrics, Compiler, Metrics, Pipeline};
 use reqisc_microarch::Coupling;
+use reqisc_qcircuit::Circuit;
 use std::collections::BTreeMap;
 
 /// Percentage reduction of `new` relative to `base` (positive = better).
@@ -54,6 +55,37 @@ pub fn run_benchmark(compiler: &Compiler, b: &Benchmark, pipelines: &[Pipeline])
         compiled.insert(p.name(), metrics(&out, &cp));
     }
     Record { name: b.name.clone(), category: b.category, original, compiled }
+}
+
+/// Batch counterpart of [`run_benchmark`]: fans every `benchmark ×
+/// pipeline` job out over [`Compiler::compile_batch`] workers sharing the
+/// compiler's cache, then collects the same per-benchmark [`Record`]s.
+/// `threads = 0` uses the available hardware parallelism. Metrics are
+/// identical to the serial path (pipelines are deterministic).
+pub fn run_benchmarks_batch(
+    compiler: &Compiler,
+    benchmarks: &[Benchmark],
+    pipelines: &[Pipeline],
+    threads: usize,
+) -> Vec<Record> {
+    let cp = Coupling::xy(1.0);
+    let jobs: Vec<(&Circuit, Pipeline)> = benchmarks
+        .iter()
+        .flat_map(|b| pipelines.iter().map(move |&p| (&b.circuit, p)))
+        .collect();
+    let outs = compiler.compile_batch(&jobs, threads);
+    benchmarks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let original = metrics(&b.circuit.lowered_to_cx(), &cp);
+            let mut compiled = BTreeMap::new();
+            for (j, &p) in pipelines.iter().enumerate() {
+                compiled.insert(p.name(), metrics(&outs[i * pipelines.len() + j], &cp));
+            }
+            Record { name: b.name.clone(), category: b.category, original, compiled }
+        })
+        .collect()
 }
 
 /// Averages reduction rates per category for one metric.
@@ -130,6 +162,20 @@ mod tests {
     fn geo_mean_basics() {
         assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
         assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn batch_records_match_serial() {
+        let compiler = Compiler::new();
+        let bs: Vec<Benchmark> = reqisc_benchsuite::mini_suite().into_iter().take(2).collect();
+        let ps = [Pipeline::Qiskit, Pipeline::ReqiscEff];
+        let batch = run_benchmarks_batch(&compiler, &bs, &ps, 0);
+        assert_eq!(batch.len(), bs.len());
+        for (r, b) in batch.iter().zip(&bs) {
+            let serial = run_benchmark(&compiler, b, &ps);
+            assert_eq!(r.name, serial.name);
+            assert_eq!(r.compiled, serial.compiled, "{}: batch metrics diverged", r.name);
+        }
     }
 
     #[test]

@@ -21,4 +21,6 @@ pub mod generators;
 pub mod suite;
 
 pub use category::{Category, ALL_CATEGORIES};
-pub use suite::{category_programs, mini_suite, scale_from_env, suite, Benchmark, Scale};
+pub use suite::{
+    category_programs, mini_suite, mini_suite_capped, scale_from_env, suite, Benchmark, Scale,
+};

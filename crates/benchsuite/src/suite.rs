@@ -182,6 +182,16 @@ pub fn mini_suite() -> Vec<Benchmark> {
         .collect()
 }
 
+/// [`mini_suite`] restricted to programs of at most `max_qubits` qubits —
+/// the slice dense-unitary verification can afford (state-vector checks
+/// are `O(4ⁿ)`; integration tests cap at 8).
+pub fn mini_suite_capped(max_qubits: usize) -> Vec<Benchmark> {
+    mini_suite()
+        .into_iter()
+        .filter(|b| b.circuit.num_qubits() <= max_qubits)
+        .collect()
+}
+
 /// Reads the suite scale from the `REQISC_SCALE` environment variable
 /// (`paper` → [`Scale::Paper`], anything else → [`Scale::Demo`]).
 pub fn scale_from_env() -> Scale {
@@ -262,5 +272,19 @@ mod tests {
     #[test]
     fn mini_suite_one_per_category() {
         assert_eq!(mini_suite().len(), 17);
+    }
+
+    #[test]
+    fn capped_mini_suite_respects_bound() {
+        let capped = mini_suite_capped(8);
+        assert!(!capped.is_empty());
+        assert!(capped.iter().all(|b| b.circuit.num_qubits() <= 8));
+        assert!(capped.len() <= mini_suite().len());
+        // Programs are generated deterministically: repeated calls agree.
+        let again = mini_suite_capped(8);
+        for (a, b) in capped.iter().zip(&again) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.circuit.content_hash(), b.circuit.content_hash());
+        }
     }
 }

@@ -2,6 +2,7 @@
 //! compacting → 3Q partitioning → conditional approximate synthesis of
 //! dense blocks.
 
+use crate::cache::CompileCache;
 use crate::compact::{compact, CompactOptions};
 use crate::fuse::fuse_2q;
 use crate::partition::{partition_3q, Block, PartitionOptions};
@@ -41,6 +42,18 @@ impl Default for HsOptions {
 /// Input: any circuit of 1Q/2Q/CCX-ish gates (≥3Q gates are lowered to CX
 /// first). Output: an SU(4)-ISA circuit (`U3` + `Su4`) with reduced #SU(4).
 pub fn hierarchical_synthesis(c: &Circuit, opts: &HsOptions) -> Circuit {
+    hierarchical_synthesis_cached(c, opts, None)
+}
+
+/// [`hierarchical_synthesis`] with an optional shared [`CompileCache`]:
+/// dense-block synthesis attempts are memoized by target content, so
+/// repeated subprograms (Toffoli/adder blocks across a benchsuite)
+/// synthesize once per cache lifetime instead of once per occurrence.
+pub fn hierarchical_synthesis_cached(
+    c: &Circuit,
+    opts: &HsOptions,
+    cache: Option<&CompileCache>,
+) -> Circuit {
     // Tier 0: make everything ≤ 2Q and fuse into SU(4) blocks.
     let lowered = c.lowered_to_cx();
     let mut fused = fuse_2q(&lowered);
@@ -53,17 +66,31 @@ pub fn hierarchical_synthesis(c: &Circuit, opts: &HsOptions) -> Circuit {
     let blocks = partition_3q(&fused, &opts.partition);
     let mut out = Circuit::new(c.num_qubits());
     for b in &blocks {
-        emit_block(&mut out, b, opts);
+        emit_block(&mut out, b, opts, cache);
     }
     // Boundary fusion: blocks may abut on the same pair.
     fuse_2q(&out)
 }
 
-fn emit_block(out: &mut Circuit, b: &Block, opts: &HsOptions) {
+fn emit_block(out: &mut Circuit, b: &Block, opts: &HsOptions, cache: Option<&CompileCache>) {
     let count = b.count_2q();
     if count > opts.m_th && b.qubits.len() >= 2 && b.qubits.len() <= 3 {
         let target = b.unitary();
-        if let Some(syn) = synthesize_if_shorter(&target, b.qubits.len(), count, &opts.search) {
+        // Both arms yield a borrow so a cache hit clones each block
+        // matrix exactly once (into the emitted gate), not twice.
+        let cached;
+        let local;
+        let syn = match cache {
+            Some(cache) => {
+                cached = cache.synthesize_if_shorter_cached(&target, b.qubits.len(), count, &opts.search);
+                cached.as_ref()
+            }
+            None => {
+                local = synthesize_if_shorter(&target, b.qubits.len(), count, &opts.search);
+                &local
+            }
+        };
+        if let Some(syn) = syn {
             // Map the synthesized blocks back to global qubits.
             for ((la, lb), m) in &syn.blocks {
                 out.push(Gate::Su4(b.qubits[*la], b.qubits[*lb], Box::new(m.clone())));

@@ -22,6 +22,7 @@
 //! assert!(m.count_2q <= 5); // vs 6 CNOTs
 //! ```
 
+pub mod cache;
 pub mod cnot_opt;
 pub mod compact;
 pub mod fuse;
@@ -34,10 +35,12 @@ pub mod template_pass;
 pub mod topology;
 pub mod variational;
 
+pub use cache::{CompileCache, CompileCacheStats};
+pub use reqisc_microarch::cache::CacheStats;
 pub use cnot_opt::{merge_pauli_rotations, qiskit_like, resynthesize_to_cx, tket_like};
 pub use compact::{compact, gates_commute, CompactOptions};
 pub use fuse::fuse_2q;
-pub use hierarchical::{hierarchical_synthesis, HsOptions};
+pub use hierarchical::{hierarchical_synthesis, hierarchical_synthesis_cached, HsOptions};
 pub use pauli_frontend::{compile_pauli_program, emit_pauli_rotation, Axis, PauliRotation};
 pub use partition::{compactness, partition_3q, reassemble, Block, PartitionOptions};
 pub use pipelines::{

@@ -1,14 +1,17 @@
 //! End-to-end compilation pipelines (paper §5.4, §6.1.2): the two ReQISC
 //! schemes and the five baselines, with the common metrics of §6.1.1.
 
+use crate::cache::{hs_options_fingerprint, CompileCache, CompileCacheStats};
 use crate::cnot_opt::{qiskit_like, tket_like};
 use crate::fuse::fuse_2q;
-use crate::hierarchical::{hierarchical_synthesis, HsOptions};
+use crate::hierarchical::{hierarchical_synthesis_cached, HsOptions};
 use crate::template_pass::template_synthesis;
 use reqisc_microarch::{duration_in_g, Coupling};
 use reqisc_qcircuit::{Circuit, Gate};
 use reqisc_qmath::weyl_coords;
 use reqisc_synthesis::{SearchOptions, TemplateLibrary};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// The compilation pipelines compared in the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,6 +36,20 @@ pub enum Pipeline {
 }
 
 impl Pipeline {
+    /// Every pipeline, in evaluation order — the one list tests and
+    /// round-robin schedulers should index so a new variant extends them
+    /// all at once.
+    pub const ALL: [Pipeline; 8] = [
+        Pipeline::Qiskit,
+        Pipeline::Tket,
+        Pipeline::QiskitSu4,
+        Pipeline::TketSu4,
+        Pipeline::BqskitSu4,
+        Pipeline::ReqiscEff,
+        Pipeline::ReqiscFull,
+        Pipeline::ReqiscNc,
+    ];
+
     /// Short display name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -53,12 +70,21 @@ impl Pipeline {
     }
 }
 
-/// Shared, reusable compilation context (template library etc.).
+/// Shared, reusable compilation context: the pre-synthesized template
+/// library, the hierarchical-synthesis options, and the content-addressed
+/// [`CompileCache`] every compilation goes through.
+///
+/// All compilation entry points take `&self`, so one `Compiler` is safely
+/// shared across threads ([`Compiler::compile_batch`] does exactly that) —
+/// the cache is internally synchronized with read-mostly sharded locks.
 pub struct Compiler {
     /// The pre-synthesized template library.
     pub library: TemplateLibrary,
-    /// Hierarchical-synthesis options.
+    /// Hierarchical-synthesis options. May be adjusted after construction;
+    /// the cache keys every result under a fingerprint of these options,
+    /// so adjustments never serve stale entries.
     pub hs: HsOptions,
+    cache: CompileCache,
 }
 
 impl Compiler {
@@ -67,11 +93,54 @@ impl Compiler {
     pub fn new() -> Self {
         let mut search = SearchOptions::default();
         search.sweep.restarts = 3;
-        Self { library: TemplateLibrary::builtin(&search), hs: HsOptions::default() }
+        Self {
+            library: TemplateLibrary::builtin(&search),
+            hs: HsOptions::default(),
+            cache: CompileCache::new(),
+        }
     }
 
-    /// Runs one pipeline on a program.
+    /// The shared compilation cache.
+    pub fn cache(&self) -> &CompileCache {
+        &self.cache
+    }
+
+    /// Snapshot of the cache counters (hits / misses / inserts /
+    /// evictions per pool).
+    pub fn cache_stats(&self) -> CompileCacheStats {
+        self.cache.stats()
+    }
+
+    /// Runs one pipeline on a program, memoizing through the shared
+    /// cache: a repeat compile of the same program bits under the same
+    /// pipeline and options returns the cached circuit. (The one clone
+    /// per call is the cost of the owned return type every existing
+    /// consumer expects; lookups themselves are a single content hash.)
     pub fn compile(&self, c: &Circuit, p: Pipeline) -> Circuit {
+        let key = crate::cache::ProgramKey::new(c, p, hs_options_fingerprint(&self.hs));
+        if let Some(hit) = self.cache.get_program(&key) {
+            return (*hit).clone();
+        }
+        let out = self.compile_cold(c, p);
+        self.cache.put_program(key, Arc::new(out.clone()));
+        out
+    }
+
+    /// Runs one pipeline without consulting the whole-program memo table
+    /// (block-level pools are also bypassed). This is the reference cold
+    /// path the property/stress tests compare cache hits against.
+    pub fn compile_uncached(&self, c: &Circuit, p: Pipeline) -> Circuit {
+        self.run_pipeline(c, p, None)
+    }
+
+    /// Cold path: run the pipeline, sharing the block-synthesis and pulse
+    /// pools (a program-level miss still reuses every repeated dense
+    /// block seen so far).
+    fn compile_cold(&self, c: &Circuit, p: Pipeline) -> Circuit {
+        self.run_pipeline(c, p, Some(&self.cache))
+    }
+
+    fn run_pipeline(&self, c: &Circuit, p: Pipeline, cache: Option<&CompileCache>) -> Circuit {
         match p {
             Pipeline::Qiskit => qiskit_like(c),
             Pipeline::Tket => tket_like(c),
@@ -84,20 +153,54 @@ impl Compiler {
                 let mut o = self.hs.clone();
                 o.m_th = 1;
                 o.compacting = false;
-                hierarchical_synthesis(c, &o)
+                hierarchical_synthesis_cached(c, &o, cache)
             }
             Pipeline::ReqiscEff => template_synthesis(c, &self.library),
             Pipeline::ReqiscFull => {
                 let t = template_synthesis(c, &self.library);
-                hierarchical_synthesis(&t, &self.hs)
+                hierarchical_synthesis_cached(&t, &self.hs, cache)
             }
             Pipeline::ReqiscNc => {
                 let t = template_synthesis(c, &self.library);
                 let mut o = self.hs.clone();
                 o.compacting = false;
-                hierarchical_synthesis(&t, &o)
+                hierarchical_synthesis_cached(&t, &o, cache)
             }
         }
+    }
+
+    /// Compiles a whole batch of `(program, pipeline)` jobs across
+    /// `threads` OS threads sharing this compiler's cache, returning the
+    /// compiled circuits in job order.
+    ///
+    /// `threads = 0` uses the available hardware parallelism. Workers
+    /// claim jobs from a shared cursor, so a few slow programs do not
+    /// starve the rest of a worker's stripe; results are bit-identical to
+    /// the serial path because every pipeline is deterministic and cache
+    /// entries are immutable once written.
+    pub fn compile_batch(&self, jobs: &[(&Circuit, Pipeline)], threads: usize) -> Vec<Circuit> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(jobs.len().max(1));
+        let slots: Vec<OnceLock<Circuit>> = jobs.iter().map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(c, p)) = jobs.get(i) else { break };
+                    let out = self.compile(c, p);
+                    slots[i].set(out).expect("job slot written twice");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("worker panicked before finishing its job"))
+            .collect()
     }
 }
 
@@ -262,6 +365,58 @@ mod tests {
         let n_bq = distinct_su4_count(&bq, 1e-5);
         // BQSKit-style synthesis produces (at least as) diverse gates.
         assert!(n_bq + 2 >= n_eff, "bqskit {n_bq} vs eff {n_eff}");
+    }
+
+    #[test]
+    fn compile_memoizes_per_program_and_options() {
+        let mut comp = Compiler::new();
+        comp.hs.search.sweep.restarts = 2;
+        comp.hs.search.sweep.max_sweeps = 150;
+        let c = toffoli_chain();
+        let cold = comp.compile(&c, Pipeline::ReqiscFull);
+        assert_eq!(comp.cache_stats().programs.hits, 0);
+        let warm = comp.compile(&c, Pipeline::ReqiscFull);
+        assert_eq!(warm, cold, "cache hit must return the identical circuit");
+        assert_eq!(comp.cache_stats().programs.hits, 1);
+        // A different pipeline is a different key.
+        comp.compile(&c, Pipeline::Qiskit);
+        assert_eq!(comp.cache_stats().programs.hits, 1);
+        // Changing options invalidates (fresh key, not a stale hit).
+        comp.hs.m_th = 5;
+        comp.compile(&c, Pipeline::ReqiscFull);
+        assert_eq!(comp.cache_stats().programs.hits, 1);
+        let s = comp.cache_stats();
+        assert!(s.programs.is_consistent() && s.synthesis.is_consistent());
+    }
+
+    #[test]
+    fn compile_batch_matches_serial_in_job_order() {
+        let mut comp = Compiler::new();
+        comp.hs.search.sweep.restarts = 2;
+        comp.hs.search.sweep.max_sweeps = 150;
+        let a = toffoli_chain();
+        let mut b = Circuit::new(3);
+        b.push(Gate::Ccx(0, 1, 2));
+        b.push(Gate::H(2));
+        let jobs: Vec<(&Circuit, Pipeline)> = vec![
+            (&a, Pipeline::Qiskit),
+            (&b, Pipeline::ReqiscEff),
+            (&a, Pipeline::ReqiscFull),
+            (&b, Pipeline::TketSu4),
+            (&a, Pipeline::Qiskit), // duplicate job: must hit the cache
+        ];
+        let batch = comp.compile_batch(&jobs, 4);
+        assert_eq!(batch.len(), jobs.len());
+        for (i, &(c, p)) in jobs.iter().enumerate() {
+            assert_eq!(batch[i], comp.compile(c, p), "job {i} diverged from serial");
+        }
+        assert_eq!(batch[0], batch[4]);
+        let s = comp.cache_stats().programs;
+        assert!(s.hits >= 1, "duplicate batch job should hit: {s}");
+        // threads = 0 (auto) and a single thread also work.
+        assert_eq!(comp.compile_batch(&jobs[..2], 0), &batch[..2]);
+        assert_eq!(comp.compile_batch(&jobs[..2], 1), &batch[..2]);
+        assert_eq!(comp.compile_batch(&[], 3), Vec::<Circuit>::new());
     }
 
     #[test]

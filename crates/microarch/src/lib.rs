@@ -19,12 +19,14 @@
 //! assert!((s.tau - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
 //! ```
 
+pub mod cache;
 pub mod calibration;
 pub mod coupling;
 pub mod duration;
 pub mod scheme;
 pub mod solver;
 
+pub use cache::{CacheStats, PulseCache, ShardedMap, SolvedClass};
 pub use calibration::{
     calibrate_gate, characterize_coupling, characterize_drive_gain, CalibratedGate,
     DeviceModel, SimulatedDevice,

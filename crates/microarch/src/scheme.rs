@@ -184,7 +184,7 @@ pub fn solve_with_mirroring(
 
 /// Canonicalizes arbitrary coordinates through an actual gate (robust to
 /// out-of-chamber inputs).
-fn canonicalize_coords(w: &WeylCoord) -> Result<WeylCoord, SolveError> {
+pub(crate) fn canonicalize_coords(w: &WeylCoord) -> Result<WeylCoord, SolveError> {
     let g = reqisc_qmath::gates::canonical_gate(w.x, w.y, w.z);
     weyl_coords(&g).map_err(|e| SolveError { message: e.to_string() })
 }

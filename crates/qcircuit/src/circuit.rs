@@ -89,6 +89,66 @@ impl Circuit {
         self.gates
     }
 
+    /// 128-bit content fingerprint of the program: register width plus
+    /// every gate's kind, qubits, and exact parameter bits (explicit
+    /// `Su4` matrices hash their entries). Two circuits built by the same
+    /// deterministic generator are bitwise-identical and share a
+    /// fingerprint — the content-address the compilation cache memoizes
+    /// whole-program results under.
+    pub fn content_hash(&self) -> u128 {
+        let mut h = reqisc_qmath::Fnv128::new();
+        h.write_usize(self.num_qubits);
+        h.write_usize(self.gates.len());
+        for g in &self.gates {
+            h.write_str(g.name());
+            for q in g.qubits() {
+                h.write_usize(q);
+            }
+            match g {
+                Gate::Rx(_, t) | Gate::Ry(_, t) | Gate::Rz(_, t) | Gate::Rzz(_, _, t) => {
+                    h.write_f64(*t);
+                }
+                Gate::U3(_, t, p, l) => {
+                    h.write_f64(*t);
+                    h.write_f64(*p);
+                    h.write_f64(*l);
+                }
+                Gate::Can(_, _, w) => {
+                    h.write_f64(w.x);
+                    h.write_f64(w.y);
+                    h.write_f64(w.z);
+                }
+                Gate::Su4(_, _, m) => {
+                    let fp = m.fingerprint();
+                    h.write_u64(fp as u64);
+                    h.write_u64((fp >> 64) as u64);
+                }
+                // Parameterless gates are fully captured by name + qubits.
+                // Deliberately no catch-all: a future parameterized variant
+                // must be added here or this match stops compiling —
+                // silently dropping its parameter would alias cache keys.
+                Gate::X(_)
+                | Gate::Y(_)
+                | Gate::Z(_)
+                | Gate::H(_)
+                | Gate::S(_)
+                | Gate::Sdg(_)
+                | Gate::T(_)
+                | Gate::Tdg(_)
+                | Gate::Cx(..)
+                | Gate::Cz(..)
+                | Gate::Swap(..)
+                | Gate::ISwap(..)
+                | Gate::SqiSw(..)
+                | Gate::BGate(..)
+                | Gate::Ccx(..)
+                | Gate::Peres(..)
+                | Gate::Mcx(..) => {}
+            }
+        }
+        h.finish()
+    }
+
     /// Counts gates spanning exactly two qubits.
     pub fn count_2q(&self) -> usize {
         self.gates.iter().filter(|g| g.is_2q()).count()
@@ -545,5 +605,33 @@ mod tests {
     fn push_rejects_out_of_range() {
         let mut c = Circuit::new(2);
         c.push(Gate::Cx(0, 2));
+    }
+
+    #[test]
+    fn content_hash_distinguishes_programs() {
+        let mut a = Circuit::new(3);
+        a.push(Gate::Ccx(0, 1, 2));
+        a.push(Gate::Rz(0, 0.25));
+        let mut b = Circuit::new(3);
+        b.push(Gate::Ccx(0, 1, 2));
+        b.push(Gate::Rz(0, 0.25));
+        assert_eq!(a.content_hash(), b.content_hash());
+        // Parameter, qubit, order, and width changes all change the hash.
+        let mut c = Circuit::new(3);
+        c.push(Gate::Ccx(0, 1, 2));
+        c.push(Gate::Rz(0, 0.26));
+        assert_ne!(a.content_hash(), c.content_hash());
+        let mut d = Circuit::new(3);
+        d.push(Gate::Rz(0, 0.25));
+        d.push(Gate::Ccx(0, 1, 2));
+        assert_ne!(a.content_hash(), d.content_hash());
+        assert_ne!(a.content_hash(), Circuit::new(3).content_hash());
+        assert_ne!(Circuit::new(2).content_hash(), Circuit::new(3).content_hash());
+        // Su4 payloads participate in the hash.
+        let mut e = Circuit::new(2);
+        e.push(Gate::Su4(0, 1, Box::new(qg::b_gate())));
+        let mut f = Circuit::new(2);
+        f.push(Gate::Su4(0, 1, Box::new(qg::cnot())));
+        assert_ne!(e.content_hash(), f.content_hash());
     }
 }

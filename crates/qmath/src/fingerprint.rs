@@ -1,0 +1,158 @@
+//! Content fingerprinting for cache keys.
+//!
+//! The compilation-cache layer addresses entries by *content*: a circuit,
+//! matrix, or option set is reduced to a 128-bit FNV-1a digest of its
+//! canonical byte stream. 128 bits keeps accidental collisions out of
+//! reach for any realistic cache population (birthday bound ≈ 2⁶⁴
+//! entries), while staying allocation-free and `no_std`-friendly.
+//!
+//! Two hashing disciplines coexist:
+//!
+//! * **Exact** ([`Fnv128::write_f64`]): hashes the raw IEEE-754 bits.
+//!   Used for content addressing where bitwise-identical inputs must (and
+//!   deterministic pipelines do) produce bitwise-identical keys.
+//! * **Quantized** ([`Fnv128::write_f64_quantized`]): hashes
+//!   `round(v / tol)` so values within the grouping tolerance usually
+//!   share a bucket. Used for *class* keys (Weyl coordinates, coupling
+//!   coefficients) where the paper's calibration argument groups
+//!   instructions at a 1e-5 tolerance. Boundary straddlers may land in
+//!   adjacent buckets — that costs a cache miss, never a wrong hit.
+
+/// Incremental 128-bit FNV-1a hasher.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv128 {
+    state: u128,
+}
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+impl Fnv128 {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV128_OFFSET }
+    }
+
+    /// Absorbs one byte.
+    #[inline]
+    pub fn write_u8(&mut self, b: u8) {
+        self.state ^= b as u128;
+        self.state = self.state.wrapping_mul(FNV128_PRIME);
+    }
+
+    /// Absorbs a little-endian `u64`.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Absorbs a `usize` (widened to `u64` for layout independence).
+    #[inline]
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs a signed 64-bit value.
+    #[inline]
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs the exact IEEE-754 bit pattern of `v`, normalizing the two
+    /// zero representations (`-0.0` hashes like `0.0`).
+    #[inline]
+    pub fn write_f64(&mut self, v: f64) {
+        let v = if v == 0.0 { 0.0 } else { v };
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs `v` quantized to `tol`-sized buckets: `round(v / tol)`.
+    ///
+    /// Values within `tol` of each other *usually* share a bucket (always
+    /// within `tol/2` of the bucket center); straddlers of a bucket edge
+    /// hash differently, which can only cause a cache miss.
+    #[inline]
+    pub fn write_f64_quantized(&mut self, v: f64, tol: f64) {
+        debug_assert!(tol > 0.0, "quantization tolerance must be positive");
+        self.write_i64(quantize(v, tol));
+    }
+
+    /// Absorbs a string as raw bytes (length-prefixed against ambiguity).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        for b in s.as_bytes() {
+            self.write_u8(*b);
+        }
+    }
+
+    /// The 128-bit digest.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Quantizes `v` to an integer bucket index at tolerance `tol`
+/// (`round(v / tol)`, with `-0.0` normalized).
+#[inline]
+pub fn quantize(v: f64, tol: f64) -> i64 {
+    let q = (v / tol).round();
+    if q == 0.0 {
+        0
+    } else {
+        q as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = Fnv128::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv128::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv128::new();
+        c.write_u64(1);
+        c.write_u64(2);
+        assert_eq!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn zero_normalization() {
+        let mut a = Fnv128::new();
+        a.write_f64(0.0);
+        let mut b = Fnv128::new();
+        b.write_f64(-0.0);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn quantization_groups_near_values() {
+        assert_eq!(quantize(0.100004, 1e-5), quantize(0.100001, 1e-5));
+        assert_ne!(quantize(0.2, 1e-5), quantize(0.3, 1e-5));
+        assert_eq!(quantize(-0.0, 1.0), 0);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            let mut h = Fnv128::new();
+            h.write_u64(i);
+            assert!(seen.insert(h.finish()), "collision at {i}");
+        }
+    }
+}

@@ -26,6 +26,7 @@
 pub mod c64;
 pub mod eig;
 pub mod expm;
+pub mod fingerprint;
 pub mod gates;
 pub mod haar;
 pub mod kak;
@@ -37,9 +38,10 @@ pub mod weyl;
 pub use c64::C64;
 pub use eig::{eig_hermitian, eig_real_symmetric, HermEig, RealEig};
 pub use expm::{expm, expm_i_hermitian};
+pub use fingerprint::Fnv128;
 pub use haar::{haar_su2, haar_su4, haar_unitary};
 pub use kak::{kak_decompose, kak_parts, locally_equivalent, weyl_coords, Kak, KakError};
 pub use magic::{from_magic, kron_factor, magic_basis, to_magic};
 pub use mat::CMat;
 pub use svd::{polar_unitary, svd, Svd};
-pub use weyl::{WeylCoord, WEYL_EPS};
+pub use weyl::{WeylClassKey, WeylCoord, SU4_CLASS_TOL, WEYL_EPS};

@@ -231,6 +231,21 @@ impl CMat {
         (self.rows, self.cols) == (other.rows, other.cols) && self.max_dist(other) <= tol
     }
 
+    /// 128-bit content fingerprint of the exact entry bit patterns (with
+    /// `-0.0` normalized). Bitwise-identical matrices — what deterministic
+    /// pipelines produce for repeated subprograms — share a fingerprint;
+    /// used as a content-address by the compilation cache.
+    pub fn fingerprint(&self) -> u128 {
+        let mut h = crate::fingerprint::Fnv128::new();
+        h.write_usize(self.rows);
+        h.write_usize(self.cols);
+        for z in &self.data {
+            h.write_f64(z.re);
+            h.write_f64(z.im);
+        }
+        h.finish()
+    }
+
     /// True when `self† · self ≈ I` within `tol`.
     pub fn is_unitary(&self, tol: f64) -> bool {
         self.is_square() && self.adjoint().mul_mat(self).approx_eq(&Self::identity(self.rows), tol)

@@ -27,6 +27,23 @@ impl Default for SearchOptions {
     }
 }
 
+impl SearchOptions {
+    /// Content fingerprint of the full search budget. Memoized synthesis
+    /// results are only valid for the exact options that produced them
+    /// (a different sweep budget or seed converges to a different block
+    /// sequence), so cache keys must include this.
+    pub fn fingerprint(&self) -> u128 {
+        let mut h = reqisc_qmath::Fnv128::new();
+        h.write_usize(self.max_blocks);
+        h.write_f64(self.threshold);
+        h.write_usize(self.sweep.max_sweeps);
+        h.write_f64(self.sweep.target_infidelity);
+        h.write_usize(self.sweep.restarts);
+        h.write_u64(self.sweep.seed);
+        h.finish()
+    }
+}
+
 /// The paper's SU(4) lower bound `b_SU(4)(n) = ⌈(4^n − 3n − 1)/9⌉`
 /// (§5.1.1).
 pub fn su4_lower_bound(n: usize) -> usize {

@@ -1,9 +1,20 @@
 //! Cross-crate integration: real benchmark programs through the full
 //! compile → verify → simulate stack.
+//!
+//! Two tiers:
+//!
+//! * **Fast tier** (default `cargo test`): every category compiles once —
+//!   one pipeline per category, round-robin over all eight pipelines so
+//!   each pipeline is exercised — in a single shared-cache
+//!   [`Compiler::compile_batch`] fan-out, plus two cheap headline checks.
+//! * **Exhaustive tier** (`cargo test -- --ignored`): the full
+//!   category × pipeline product with metric-dominance and
+//!   duration-reduction sweeps, as CI runs in its own job.
 
-use reqisc::benchsuite::{mini_suite, Category};
+use reqisc::benchsuite::{mini_suite, mini_suite_capped, Category};
 use reqisc::compiler::{metrics, Compiler, Pipeline};
 use reqisc::microarch::Coupling;
+use reqisc::qcircuit::Circuit;
 use reqisc::qsim::{circuit_unitary, process_infidelity};
 use std::sync::OnceLock;
 
@@ -12,47 +23,115 @@ fn compiler() -> &'static Compiler {
     C.get_or_init(Compiler::new)
 }
 
+fn assert_equivalent(name: &str, pipeline: Pipeline, orig: &Circuit, out: &Circuit) {
+    let inf = process_infidelity(
+        &circuit_unitary(&orig.lowered_to_cx()),
+        &circuit_unitary(out),
+    );
+    assert!(inf < 1e-6, "{name} via {}: infidelity {inf}", pipeline.name());
+}
+
+// --- fast tier ------------------------------------------------------------
+
 #[test]
+fn fast_tier_every_category_compiles_equivalently() {
+    // One pipeline per category, rotating through all eight pipelines so
+    // the whole pipeline matrix stays covered at ~1/8 the work of the
+    // exhaustive product.
+    let programs = mini_suite_capped(8);
+    let assigned: Vec<Pipeline> = (0..programs.len())
+        .map(|i| Pipeline::ALL[i % Pipeline::ALL.len()])
+        .collect();
+    let jobs: Vec<(&Circuit, Pipeline)> = programs
+        .iter()
+        .zip(&assigned)
+        .map(|(b, &p)| (&b.circuit, p))
+        .collect();
+    let outs = compiler().compile_batch(&jobs, 0);
+    for ((b, &p), out) in programs.iter().zip(&assigned).zip(&outs) {
+        assert_equivalent(&b.name, p, &b.circuit, out);
+    }
+    let stats = compiler().cache_stats();
+    assert!(stats.programs.is_consistent() && stats.synthesis.is_consistent());
+}
+
+#[test]
+fn fast_tier_reqisc_beats_qiskit_on_a_type1_program() {
+    let cp = Coupling::xy(1.0);
+    let b = mini_suite()
+        .into_iter()
+        .find(|b| b.category == Category::Tof)
+        .unwrap();
+    let q = metrics(&compiler().compile(&b.circuit, Pipeline::Qiskit), &cp);
+    let full = metrics(&compiler().compile(&b.circuit, Pipeline::ReqiscFull), &cp);
+    assert!(full.count_2q <= q.count_2q, "full {} vs qiskit {}", full.count_2q, q.count_2q);
+    assert!(full.duration <= q.duration * 1.05);
+}
+
+#[test]
+fn fast_tier_qaoa_profits_from_rzz_native_su4() {
+    // Type-II: each Rzz is already one SU(4); the CNOT baseline pays 2 CX
+    // per Rzz.
+    let cp = Coupling::xy(1.0);
+    let b = mini_suite()
+        .into_iter()
+        .find(|b| b.category == Category::Qaoa)
+        .unwrap();
+    let q = metrics(&compiler().compile(&b.circuit, Pipeline::Qiskit), &cp);
+    let eff = metrics(&compiler().compile(&b.circuit, Pipeline::ReqiscEff), &cp);
+    assert!(eff.count_2q < q.count_2q, "eff {} vs qiskit {}", eff.count_2q, q.count_2q);
+}
+
+// --- exhaustive tier (cargo test -- --ignored) ----------------------------
+
+#[test]
+#[ignore = "exhaustive tier: run with `cargo test -- --ignored`"]
 fn every_category_compiles_equivalently_under_reqisc_full() {
-    for b in mini_suite() {
-        if b.circuit.num_qubits() > 8 {
-            continue; // dense verification cap
-        }
-        let out = compiler().compile(&b.circuit, Pipeline::ReqiscFull);
-        let inf = process_infidelity(
-            &circuit_unitary(&b.circuit.lowered_to_cx()),
-            &circuit_unitary(&out),
-        );
-        assert!(inf < 1e-6, "{}: infidelity {inf}", b.name);
+    let programs = mini_suite_capped(8);
+    let jobs: Vec<(&Circuit, Pipeline)> =
+        programs.iter().map(|b| (&b.circuit, Pipeline::ReqiscFull)).collect();
+    let outs = compiler().compile_batch(&jobs, 0);
+    for (b, out) in programs.iter().zip(&outs) {
+        assert_equivalent(&b.name, Pipeline::ReqiscFull, &b.circuit, out);
     }
 }
 
 #[test]
+#[ignore = "exhaustive tier: run with `cargo test -- --ignored`"]
 fn every_category_compiles_equivalently_under_baselines() {
-    for b in mini_suite() {
-        if b.circuit.num_qubits() > 8 {
-            continue;
-        }
-        let orig = circuit_unitary(&b.circuit.lowered_to_cx());
-        for p in [Pipeline::Qiskit, Pipeline::Tket] {
-            let out = compiler().compile(&b.circuit, p);
-            let inf = process_infidelity(&orig, &circuit_unitary(&out));
-            assert!(inf < 1e-6, "{} via {}: infidelity {inf}", b.name, p.name());
+    let programs = mini_suite_capped(8);
+    let pipelines = [Pipeline::Qiskit, Pipeline::Tket];
+    let jobs: Vec<(&Circuit, Pipeline)> = programs
+        .iter()
+        .flat_map(|b| pipelines.iter().map(move |&p| (&b.circuit, p)))
+        .collect();
+    let outs = compiler().compile_batch(&jobs, 0);
+    for (i, b) in programs.iter().enumerate() {
+        for (j, &p) in pipelines.iter().enumerate() {
+            assert_equivalent(&b.name, p, &b.circuit, &outs[i * pipelines.len() + j]);
         }
     }
 }
 
 #[test]
+#[ignore = "exhaustive tier: run with `cargo test -- --ignored`"]
 fn reqisc_dominates_baselines_on_type1_counts() {
     let cp = Coupling::xy(1.0);
+    let programs: Vec<_> = mini_suite()
+        .into_iter()
+        .filter(|b| b.category.is_type1() && b.circuit.num_qubits() <= 10)
+        .collect();
+    let pipelines = [Pipeline::Qiskit, Pipeline::ReqiscFull];
+    let jobs: Vec<(&Circuit, Pipeline)> = programs
+        .iter()
+        .flat_map(|b| pipelines.iter().map(move |&p| (&b.circuit, p)))
+        .collect();
+    let outs = compiler().compile_batch(&jobs, 0);
     let mut wins = 0;
     let mut total = 0;
-    for b in mini_suite() {
-        if !b.category.is_type1() || b.circuit.num_qubits() > 10 {
-            continue;
-        }
-        let q = metrics(&compiler().compile(&b.circuit, Pipeline::Qiskit), &cp);
-        let full = metrics(&compiler().compile(&b.circuit, Pipeline::ReqiscFull), &cp);
+    for (i, b) in programs.iter().enumerate() {
+        let q = metrics(&outs[2 * i], &cp);
+        let full = metrics(&outs[2 * i + 1], &cp);
         total += 1;
         if full.count_2q <= q.count_2q {
             wins += 1;
@@ -73,32 +152,23 @@ fn reqisc_dominates_baselines_on_type1_counts() {
 }
 
 #[test]
+#[ignore = "exhaustive tier: run with `cargo test -- --ignored`"]
 fn duration_reductions_match_paper_scale() {
     // The paper reports 40–90% duration reductions; check the mini suite
     // average lands in a compatible band (> 30%).
     let cp = Coupling::xy(1.0);
+    let programs = mini_suite();
+    let jobs: Vec<(&Circuit, Pipeline)> =
+        programs.iter().map(|b| (&b.circuit, Pipeline::ReqiscFull)).collect();
+    let outs = compiler().compile_batch(&jobs, 0);
     let mut reductions = Vec::new();
-    for b in mini_suite() {
+    for (b, out) in programs.iter().zip(&outs) {
         let orig = metrics(&b.circuit.lowered_to_cx(), &cp);
-        let full = metrics(&compiler().compile(&b.circuit, Pipeline::ReqiscFull), &cp);
+        let full = metrics(out, &cp);
         if orig.duration > 0.0 {
             reductions.push(1.0 - full.duration / orig.duration);
         }
     }
     let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
     assert!(avg > 0.3, "average duration reduction too small: {avg}");
-}
-
-#[test]
-fn qaoa_profits_from_rzz_native_su4() {
-    // Type-II: each Rzz is already one SU(4); the CNOT baseline pays 2 CX
-    // per Rzz.
-    let cp = Coupling::xy(1.0);
-    let b = mini_suite()
-        .into_iter()
-        .find(|b| b.category == Category::Qaoa)
-        .unwrap();
-    let q = metrics(&compiler().compile(&b.circuit, Pipeline::Qiskit), &cp);
-    let eff = metrics(&compiler().compile(&b.circuit, Pipeline::ReqiscEff), &cp);
-    assert!(eff.count_2q < q.count_2q, "eff {} vs qiskit {}", eff.count_2q, q.count_2q);
 }

@@ -1,16 +1,22 @@
 //! Integration: compiled SU(4) circuits are *executable* — every distinct
 //! SU(4) instruction a program needs has a verified genAshN pulse program
 //! on representative hardware couplings (the full Fig. 2 workflow).
+//!
+//! Pulse solving goes through the [`PulseCache`] solver hook: gates of
+//! the same instruction class (1e-5 grouping) solve once per coupling,
+//! which is both the production calibration model (§5.3.1) and what keeps
+//! this suite fast.
 
 use reqisc::benchsuite::mini_suite;
 use reqisc::compiler::{Compiler, Pipeline};
-use reqisc::microarch::{realize_gate, solve_with_mirroring, Coupling, DEFAULT_MIRROR_THRESHOLD};
+use reqisc::microarch::{Coupling, PulseCache, DEFAULT_MIRROR_THRESHOLD};
 use reqisc::qcircuit::Gate;
 use reqisc::qmath::{weyl_coords, WeylCoord};
 
 #[test]
 fn compiled_programs_are_pulse_realizable() {
     let compiler = Compiler::new();
+    let cache = PulseCache::new();
     let cps = [Coupling::xy(1.0), Coupling::xx(1.0)];
     // A few representative programs keep runtime bounded.
     for b in mini_suite().into_iter().take(5) {
@@ -33,7 +39,8 @@ fn compiled_programs_are_pulse_realizable() {
         assert!(!classes.is_empty(), "{}: no 2Q instructions?", b.name);
         for cp in &cps {
             for w in &classes {
-                let sol = solve_with_mirroring(cp, w, DEFAULT_MIRROR_THRESHOLD)
+                let (sol, _swapped) = cache
+                    .solve_with_mirroring(cp, w, DEFAULT_MIRROR_THRESHOLD)
                     .unwrap_or_else(|e| panic!("{}: {w} unsolvable: {e}", b.name));
                 assert!(
                     sol.pulse.residual < 1e-6,
@@ -44,13 +51,19 @@ fn compiled_programs_are_pulse_realizable() {
             }
         }
     }
+    // Programs share instruction classes (that is the §5.3.1 point), so
+    // the class cache must have produced real sharing.
+    let s = cache.stats();
+    assert!(s.hits > 0, "no cross-program class sharing: {s}");
+    assert!(s.is_consistent(), "inconsistent counters: {s}");
 }
 
 #[test]
 fn exact_gate_realization_with_corrections() {
     // Full Algorithm 1 (with 1Q corrections) on the workhorse gates under
-    // both couplings.
+    // both couplings, via the memoized realization path.
     use reqisc::qmath::gates as qg;
+    let cache = PulseCache::new();
     for cp in [Coupling::xy(1.0), Coupling::xx(1.0)] {
         for (name, u) in [
             ("cnot", qg::cnot()),
@@ -60,7 +73,7 @@ fn exact_gate_realization_with_corrections() {
             ("b", qg::b_gate()),
             ("swap", qg::swap()),
         ] {
-            let r = realize_gate(&cp, &u).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let r = cache.realize(&cp, &u).unwrap_or_else(|e| panic!("{name}: {e}"));
             let rec = r.reconstruct(&cp);
             assert!(
                 rec.approx_eq(&u, 1e-6),
@@ -69,6 +82,9 @@ fn exact_gate_realization_with_corrections() {
             );
         }
     }
+    // CNOT and CZ are the same class under each coupling: at least those
+    // two lookups must have hit.
+    assert!(cache.stats().hits >= 2, "{}", cache.stats());
 }
 
 #[test]
@@ -80,7 +96,9 @@ fn near_identity_instructions_come_back_mirrored() {
     let compiler = Compiler::new();
     let out = compiler.compile(&qft, Pipeline::ReqiscEff);
     let cp = Coupling::xy(1.0);
+    let cache = PulseCache::new();
     let mut mirrored = 0;
+    let mut gates_seen = 0;
     for g in out.gates() {
         if !g.is_2q() {
             continue;
@@ -89,12 +107,17 @@ fn near_identity_instructions_come_back_mirrored() {
         if w.l1_norm() < 1e-9 {
             continue;
         }
-        let sol = solve_with_mirroring(&cp, &w, DEFAULT_MIRROR_THRESHOLD).unwrap();
-        if sol.swapped {
+        gates_seen += 1;
+        let (sol, swapped) = cache.solve_with_mirroring(&cp, &w, DEFAULT_MIRROR_THRESHOLD).unwrap();
+        if swapped {
             mirrored += 1;
             // Mirrored pulses stay amplitude-bounded.
             assert!(sol.pulse.params.penalty() < 40.0);
         }
     }
     assert!(mirrored > 0, "QFT-8 should contain near-identity rotations");
+    // QFT repeats the same controlled-phase classes across qubit pairs:
+    // far fewer solves than gates.
+    let s = cache.stats();
+    assert!(s.hits > 0 && (s.misses as usize) < gates_seen, "no class reuse: {s}");
 }
