@@ -1,16 +1,39 @@
-//! Measures the compilation service layer's speedup: the serial,
-//! cache-bypassing path versus [`Compiler::compile_batch`] with a cold
-//! shared cache, versus a warm rerun of the same batch.
+//! Measures the compilation service layer's speedups along all three
+//! temperature tiers:
 //!
-//! Prints wall-clocks, ratios, and the final [`CompileCache`] counters.
-//! Environment knobs: `REQISC_SCALE=paper` for Table-1-sized programs,
-//! `REQISC_BENCH_N=<k>` to cap the program count (default: the whole
-//! suite, as in fig13), `REQISC_THREADS=<t>` to pin the worker count.
+//! * **serial cold** — the cache-bypassing reference path;
+//! * **batch cold** — [`Compiler::compile_batch`] with a cold shared
+//!   in-memory cache;
+//! * **disk warm** — a *fresh* compiler warm-started from the persistent
+//!   [`CacheStore`] (what a new process / CI job pays);
+//! * **memory warm** — a rerun of the same batch in the same process.
+//!
+//! Prints one CSV row of wall-clocks and ratios plus the cache and store
+//! counters.
+//!
+//! Environment knobs:
+//!
+//! * `REQISC_SCALE=paper` — Table-1-sized programs;
+//! * `REQISC_BENCH_N=<k>` — cap the program count (default: whole suite);
+//! * `REQISC_THREADS=<t>` — pin the worker count (default: hardware);
+//! * `REQISC_CACHE_DIR=<dir>` — share the persistent store in `<dir>`
+//!   across processes (default: a private temp dir, deleted at exit);
+//! * `REQISC_SKIP_SERIAL=1` — skip the (slow) serial reference column;
+//! * `REQISC_REQUIRE_DISK_WARM_X=<f>` — **assert** the store existed,
+//!   loaded, and the disk-warm batch beat the cold batch by ≥ `f`×;
+//! * `REQISC_REQUIRE_PROGRAM_HIT_PCT=<p>` — **assert** the disk-warm
+//!   batch's program-pool hit rate is ≥ `p`% (CI runs the bench twice
+//!   against one `REQISC_CACHE_DIR` with both assertions on the second
+//!   run, so a persistence regression fails loudly).
 
 use reqisc_benchsuite::{scale_from_env, suite, Benchmark};
-use reqisc_compiler::{Compiler, Pipeline};
+use reqisc_compiler::{CacheStore, Compiler, LoadOutcome, Pipeline};
 use reqisc_qcircuit::Circuit;
 use std::time::Instant;
+
+fn env_f64(name: &str) -> Option<f64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
 
 fn main() {
     let cap: usize = std::env::var("REQISC_BENCH_N")
@@ -21,6 +44,12 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
+    let skip_serial = std::env::var("REQISC_SKIP_SERIAL")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    let require_disk_warm_x = env_f64("REQISC_REQUIRE_DISK_WARM_X");
+    let require_hit_pct = env_f64("REQISC_REQUIRE_PROGRAM_HIT_PCT");
+    let shared_dir = std::env::var_os("REQISC_CACHE_DIR").map(std::path::PathBuf::from);
     let programs: Vec<Benchmark> = suite(scale_from_env())
         .into_iter()
         .filter(|b| b.circuit.lowered_to_cx().count_2q() <= 5000)
@@ -34,34 +63,123 @@ fn main() {
     eprintln!("{} programs × {} pipelines = {} jobs", programs.len(), pipelines.len(), jobs.len());
 
     // 1. Serial cold reference: no memoization at any level.
-    let serial = Compiler::new();
-    let t0 = Instant::now();
-    let serial_out: Vec<Circuit> =
-        jobs.iter().map(|&(c, p)| serial.compile_uncached(c, p)).collect();
-    let t_serial = t0.elapsed().as_secs_f64();
+    let t_serial = if skip_serial {
+        None
+    } else {
+        let serial = Compiler::new();
+        let t0 = Instant::now();
+        let serial_out: Vec<Circuit> =
+            jobs.iter().map(|&(c, p)| serial.compile_uncached(c, p)).collect();
+        let t = t0.elapsed().as_secs_f64();
+        Some((t, serial_out))
+    };
 
-    // 2. Parallel batch, cold shared cache.
+    // 2. Parallel batch, cold shared in-memory cache.
     let batch = Compiler::new();
     let t1 = Instant::now();
     let cold_out = batch.compile_batch(&jobs, threads);
     let t_cold = t1.elapsed().as_secs_f64();
+    if let Some((_, serial_out)) = &t_serial {
+        assert_eq!(serial_out, &cold_out, "batch diverged from the serial reference");
+    }
 
-    // 3. Same batch again, warm cache.
+    // 3. Persist, then disk-warm a *fresh* compiler from the store (what
+    // the next process pays). With REQISC_CACHE_DIR the store is loaded
+    // before this process's results are merged back, so a second run
+    // measures true cross-process warmth.
+    let tmp_dir = shared_dir.is_none().then(|| {
+        std::env::temp_dir().join(format!("reqisc-cachebench-{}", std::process::id()))
+    });
+    let dir = shared_dir.clone().or_else(|| tmp_dir.clone()).expect("some dir");
+    let store = CacheStore::new(&dir);
+    let warm = Compiler::new();
+    // Cross-process mode: warm from whatever earlier runs left. The
+    // *pre-existing* outcome is what the CI assertion checks — it proves
+    // a previous process's file really warmed this one.
+    let preexisting = if shared_dir.is_some() {
+        store.load_into(warm.cache())
+    } else {
+        LoadOutcome::Missing
+    };
+    match &preexisting {
+        LoadOutcome::Missing if shared_dir.is_some() => {
+            eprintln!("# store: {} missing (cold first run)", store.path().display())
+        }
+        LoadOutcome::Missing => {}
+        LoadOutcome::Loaded { programs, synthesis, pulses } => eprintln!(
+            "# store: loaded {programs} programs, {synthesis} synthesis, {pulses} pulses"
+        ),
+        LoadOutcome::Rejected { reason } => eprintln!("# store: REJECTED ({reason})"),
+    }
+    if !matches!(preexisting, LoadOutcome::Loaded { .. }) {
+        // Nothing usable on disk yet (first run, or a rejected file that
+        // the save below supersedes): persist this process's cold results
+        // and reload them, so the next phase measures genuine disk-warmth
+        // instead of silently redoing a full cold batch.
+        store.save(batch.cache()).expect("store save");
+        let reloaded = store.load_into(warm.cache());
+        assert!(
+            matches!(reloaded, LoadOutcome::Loaded { .. }),
+            "self-saved store failed to load: {reloaded:?}"
+        );
+    }
     let t2 = Instant::now();
-    let warm_out = batch.compile_batch(&jobs, threads);
-    let t_warm = t2.elapsed().as_secs_f64();
+    let disk_out = warm.compile_batch(&jobs, threads);
+    let t_disk = t2.elapsed().as_secs_f64();
+    assert_eq!(cold_out, disk_out, "disk-warm batch diverged");
+    let disk_programs = warm.cache_stats().programs;
 
-    assert_eq!(serial_out, cold_out, "batch diverged from the serial reference");
-    assert_eq!(cold_out, warm_out, "warm rerun diverged");
+    // 4. Memory-warm rerun in the same process.
+    let t3 = Instant::now();
+    let warm_out = warm.compile_batch(&jobs, threads);
+    let t_warm = t3.elapsed().as_secs_f64();
+    assert_eq!(cold_out, warm_out, "memory-warm rerun diverged");
 
-    println!("serial_cold_s,batch_cold_s,batch_warm_s,cold_speedup_x,warm_speedup_x");
+    // 5. Merge this run's results back into the shared store (pointless
+    // for the private temp dir, which is deleted right after).
+    if shared_dir.is_some() {
+        store.save(warm.cache()).expect("store save");
+    }
+    if let Some(tmp) = &tmp_dir {
+        let _ = std::fs::remove_dir_all(tmp);
+    }
+
+    let fmt_opt = |v: Option<f64>| v.map(|t| format!("{t:.2}")).unwrap_or_else(|| "-".into());
     println!(
-        "{t_serial:.2},{t_cold:.2},{t_warm:.3},{:.2},{:.1}",
-        t_serial / t_cold,
-        t_serial / t_warm.max(1e-9)
+        "serial_cold_s,batch_cold_s,disk_warm_s,mem_warm_s,cold_speedup_x,disk_warm_speedup_x,mem_warm_speedup_x"
     );
-    let s = batch.cache_stats();
-    println!("# programs: {}", s.programs);
-    println!("# synthesis: {}", s.synthesis);
-    println!("# total: {}", s.total());
+    println!(
+        "{},{t_cold:.2},{t_disk:.3},{t_warm:.3},{},{:.2},{:.1}",
+        fmt_opt(t_serial.as_ref().map(|(t, _)| *t)),
+        fmt_opt(t_serial.as_ref().map(|(t, _)| *t / t_cold)),
+        t_cold / t_disk.max(1e-9),
+        t_cold / t_warm.max(1e-9),
+    );
+    let s = warm.cache_stats();
+    println!("# disk-warm programs: {}", s.programs);
+    println!("# disk-warm synthesis: {}", s.synthesis);
+    println!("# disk-warm total: {}", s.total());
+    println!("# store: {}", store.stats());
+    println!("# cold-batch programs: {}", batch.cache_stats().programs);
+
+    if let Some(factor) = require_disk_warm_x {
+        assert!(
+            matches!(preexisting, LoadOutcome::Loaded { .. }),
+            "REQISC_REQUIRE_DISK_WARM_X set but no pre-existing store loaded: {preexisting:?}"
+        );
+        let speedup = t_cold / t_disk.max(1e-9);
+        assert!(
+            speedup >= factor,
+            "disk-warm speedup {speedup:.2}x below required {factor}x (cold {t_cold:.2}s, disk-warm {t_disk:.3}s)"
+        );
+        eprintln!("# assertion passed: disk-warm speedup {speedup:.2}x >= {factor}x");
+    }
+    if let Some(pct) = require_hit_pct {
+        let rate = 100.0 * disk_programs.hit_rate();
+        assert!(
+            disk_programs.lookups() > 0 && rate >= pct,
+            "disk-warm program-pool hit rate {rate:.1}% below required {pct}% ({disk_programs})"
+        );
+        eprintln!("# assertion passed: program-pool hit rate {rate:.1}% >= {pct}%");
+    }
 }

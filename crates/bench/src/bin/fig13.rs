@@ -9,14 +9,15 @@
 //! sharing the compilation cache; repeated Toffoli/adder blocks across
 //! programs synthesize once. Final cache counters print as comments.
 
+use reqisc_bench::{env_cache_save, env_cache_store};
 use reqisc_benchsuite::{scale_from_env, suite, Benchmark};
 use reqisc_compiler::{distinct_su4_count, Compiler, Pipeline};
 use reqisc_qcircuit::Circuit;
-use reqisc_qmath::SU4_CLASS_TOL;
 use std::time::Instant;
 
 fn main() {
     let compiler = Compiler::new();
+    let store = env_cache_store(&compiler);
     println!("program,n2q_original,distinct_eff,n2q_eff,distinct_full,n2q_full");
     // The paper caps this figure at #2Q ≤ 5000.
     let programs: Vec<Benchmark> = suite(scale_from_env())
@@ -37,10 +38,11 @@ fn main() {
         let orig = b.circuit.lowered_to_cx().count_2q();
         let eff = &outs[pipelines.len() * i];
         let full = &outs[pipelines.len() * i + 1];
-        // Group at 1e-5: the synthesis sweep leaves ~1e-6 coordinate
-        // noise, so a tighter tolerance over-splits identical instructions.
-        let de = distinct_su4_count(eff, SU4_CLASS_TOL);
-        let df = distinct_su4_count(full, SU4_CLASS_TOL);
+        // The default grouping is SU4_CLASS_TOL = 1e-5: the synthesis
+        // sweep leaves ~1e-6 coordinate noise, so a tighter tolerance
+        // over-splits identical instructions.
+        let de = distinct_su4_count(eff);
+        let df = distinct_su4_count(full);
         eff_counts.push(de);
         full_counts.push(df);
         println!(
@@ -66,4 +68,5 @@ fn main() {
     let s = compiler.cache_stats();
     println!("# cache programs: {}", s.programs);
     println!("# cache synthesis: {}", s.synthesis);
+    env_cache_save(store.as_ref(), &compiler);
 }

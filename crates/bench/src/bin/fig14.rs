@@ -6,13 +6,13 @@
 //! BQSKit-SU(4) competitive on count but with exploding distinct-SU(4)
 //! numbers; NC loses part of Full's reduction.
 
-use reqisc_bench::{metric, overall_reduction, run_benchmarks_batch, Record};
+use reqisc_bench::{env_cache_save, env_cache_store, metric, overall_reduction, run_benchmarks_batch, Record};
 use reqisc_benchsuite::mini_suite;
 use reqisc_compiler::{distinct_su4_count, Compiler, Pipeline};
-use reqisc_qmath::SU4_CLASS_TOL;
 
 fn main() {
     let compiler = Compiler::new();
+    let store = env_cache_store(&compiler);
     let pipelines = [
         Pipeline::QiskitSu4,
         Pipeline::TketSu4,
@@ -37,14 +37,15 @@ fn main() {
             r.compiled["bqskit-su4"].count_2q,
             r.compiled["reqisc-nc"].count_2q,
             r.compiled["reqisc-full"].count_2q,
-            // 1e-5 grouping: see distinct_su4_count consumers note in
-            // ROADMAP (synthesis noise is ~1e-6 in the coordinates).
-            distinct_su4_count(&bq, SU4_CLASS_TOL),
-            distinct_su4_count(&full, SU4_CLASS_TOL),
+            // Default grouping (SU4_CLASS_TOL = 1e-5): synthesis noise is
+            // ~1e-6 in the coordinates — see the ROADMAP consumers note.
+            distinct_su4_count(&bq),
+            distinct_su4_count(&full),
         );
     }
     println!("# average #2Q reduction vs original (%):");
     for p in ["qiskit-su4", "tket-su4", "bqskit-su4", "reqisc-nc", "reqisc-full"] {
         println!("#   {p}: {:.2}", overall_reduction(&records, p, metric::count_2q));
     }
+    env_cache_save(store.as_ref(), &compiler);
 }

@@ -9,13 +9,17 @@
 //! columns. Expected shape: ReQISC-Eff/Full dominate everywhere, Full ≥
 //! Eff, overall duration reduction ≈ 60–75%.
 
-use reqisc_bench::{category_reductions, metric, overall_reduction, run_benchmarks_batch, Record};
+use reqisc_bench::{
+    category_reductions, env_cache_save, env_cache_store, metric, overall_reduction,
+    run_benchmarks_batch, Record,
+};
 use reqisc_benchsuite::{scale_from_env, suite, ALL_CATEGORIES};
 use reqisc_compiler::{Compiler, Pipeline};
 
 fn main() {
     let scale = scale_from_env();
     let compiler = Compiler::new();
+    let store = env_cache_store(&compiler);
     let pipelines = [
         Pipeline::Qiskit,
         Pipeline::Tket,
@@ -58,4 +62,5 @@ fn main() {
         println!();
         println!();
     }
+    env_cache_save(store.as_ref(), &compiler);
 }

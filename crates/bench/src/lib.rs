@@ -10,10 +10,46 @@
 //! Set `REQISC_SCALE=paper` for Table-1-sized inputs (slow).
 
 use reqisc_benchsuite::{Benchmark, Category};
-use reqisc_compiler::{metrics, Compiler, Metrics, Pipeline};
+use reqisc_compiler::{metrics, CacheStore, Compiler, LoadOutcome, Metrics, Pipeline};
 use reqisc_microarch::Coupling;
 use reqisc_qcircuit::Circuit;
 use std::collections::BTreeMap;
+
+/// Opens the persistent compile store named by `REQISC_CACHE_DIR` (if
+/// set) and warm-starts `compiler` from it. Every bench binary calls this
+/// right after building its compiler: with the env var set, a rerun —
+/// or a different figure sharing the directory — skips everything an
+/// earlier process already compiled. Returns the store handle so the
+/// binary can [`env_cache_save`] its own results back at exit; `None`
+/// when the env var is unset (purely in-memory run, the default).
+pub fn env_cache_store(compiler: &Compiler) -> Option<CacheStore> {
+    let dir = std::env::var_os("REQISC_CACHE_DIR")?;
+    let store = CacheStore::new(std::path::PathBuf::from(dir));
+    match store.load_into(compiler.cache()) {
+        LoadOutcome::Missing => eprintln!("# cache store: {} (empty, cold start)", store.path().display()),
+        LoadOutcome::Loaded { programs, synthesis, pulses } => eprintln!(
+            "# cache store: {} ({programs} programs, {synthesis} synthesis, {pulses} pulses loaded)",
+            store.path().display()
+        ),
+        LoadOutcome::Rejected { reason } => {
+            eprintln!("# cache store: {} REJECTED ({reason}), cold start", store.path().display())
+        }
+    }
+    Some(store)
+}
+
+/// Persists `compiler`'s pools back to the store opened by
+/// [`env_cache_store`] (no-op when the env var was unset). Save failures
+/// are reported, not fatal — a read-only cache dir must never fail a
+/// figure run.
+pub fn env_cache_save(store: Option<&CacheStore>, compiler: &Compiler) {
+    if let Some(store) = store {
+        match store.save(compiler.cache()) {
+            Ok(n) => eprintln!("# cache store: saved {n} entries to {}", store.path().display()),
+            Err(e) => eprintln!("# cache store: save failed ({e})"),
+        }
+    }
+}
 
 /// Percentage reduction of `new` relative to `base` (positive = better).
 pub fn reduction_pct(base: f64, new: f64) -> f64 {

@@ -37,9 +37,9 @@ use crate::pipelines::Pipeline;
 /// and reused for both the lookup and the fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct ProgramKey {
-    circuit: u128,
-    pipeline: Pipeline,
-    options: u128,
+    pub(crate) circuit: u128,
+    pub(crate) pipeline: Pipeline,
+    pub(crate) options: u128,
 }
 
 impl ProgramKey {
@@ -50,11 +50,11 @@ impl ProgramKey {
 
 /// Key of one memoized block-synthesis attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct SynthKey {
-    target: u128,
-    num_qubits: usize,
-    budget: usize,
-    options: u128,
+pub(crate) struct SynthKey {
+    pub(crate) target: u128,
+    pub(crate) num_qubits: usize,
+    pub(crate) budget: usize,
+    pub(crate) options: u128,
 }
 
 /// Aggregated snapshot over the cache's pools.
@@ -145,6 +145,31 @@ impl CompileCache {
     /// (coupling, SU(4) class).
     pub fn pulses(&self) -> &PulseCache {
         &self.pulses
+    }
+
+    /// Exports the whole-program pool for a persistent-store save.
+    pub(crate) fn export_programs(&self) -> Vec<(ProgramKey, Arc<Circuit>)> {
+        let mut out = Vec::new();
+        self.programs.for_each(|k, v| out.push((*k, v.clone())));
+        out
+    }
+
+    /// Exports the block-synthesis pool for a persistent-store save.
+    pub(crate) fn export_synthesis(&self) -> Vec<(SynthKey, Arc<Option<BlockCircuit>>)> {
+        let mut out = Vec::new();
+        self.synthesis.for_each(|k, v| out.push((*k, v.clone())));
+        out
+    }
+
+    /// Seeds one whole-program entry (counter-free warm start — see
+    /// [`reqisc_microarch::cache::ShardedMap::seed`]).
+    pub(crate) fn seed_program(&self, key: ProgramKey, out: Arc<Circuit>) {
+        self.programs.seed(key, out);
+    }
+
+    /// Seeds one block-synthesis entry (counter-free warm start).
+    pub(crate) fn seed_synthesis(&self, key: SynthKey, v: Arc<Option<BlockCircuit>>) {
+        self.synthesis.seed(key, v);
     }
 
     /// Counter snapshot across all pools.

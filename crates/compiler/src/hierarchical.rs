@@ -54,6 +54,27 @@ pub fn hierarchical_synthesis_cached(
     opts: &HsOptions,
     cache: Option<&CompileCache>,
 ) -> Circuit {
+    hierarchical_synthesis_batched(c, opts, cache, 1)
+}
+
+/// [`hierarchical_synthesis_cached`] with block-level batching: the
+/// *distinct* dense SU(4)/SU(8) blocks of one program are fanned out over
+/// up to `block_threads` scoped workers that fill the shared
+/// block-synthesis pool, before the (cheap, order-sensitive) serial
+/// reassembly emits from it. One large program thereby parallelizes as
+/// well as a suite of small ones — the per-block synthesis sweeps are the
+/// whole cost of the pass, and they are independent.
+///
+/// `block_threads ≤ 1` (or no cache) is exactly the serial path. Results
+/// are bit-identical either way: each block synthesis is deterministic in
+/// its (target, options) key, workers only *fill* the memo pool, and
+/// emission order never changes.
+pub fn hierarchical_synthesis_batched(
+    c: &Circuit,
+    opts: &HsOptions,
+    cache: Option<&CompileCache>,
+    block_threads: usize,
+) -> Circuit {
     // Tier 0: make everything ≤ 2Q and fuse into SU(4) blocks.
     let lowered = c.lowered_to_cx();
     let mut fused = fuse_2q(&lowered);
@@ -64,12 +85,58 @@ pub fn hierarchical_synthesis_cached(
     }
     // Tier 1: 3Q partitioning + conditional approximate synthesis.
     let blocks = partition_3q(&fused, &opts.partition);
+    if let Some(cache) = cache {
+        if block_threads > 1 {
+            prewarm_distinct_blocks(&blocks, opts, cache, block_threads);
+        }
+    }
     let mut out = Circuit::new(c.num_qubits());
     for b in &blocks {
         emit_block(&mut out, b, opts, cache);
     }
     // Boundary fusion: blocks may abut on the same pair.
     fuse_2q(&out)
+}
+
+/// Synthesizes the distinct dense blocks of `blocks` into `cache` in
+/// parallel. Deduplication mirrors the synthesis pool's key — (target
+/// fingerprint, width, clamped budget) — so two occurrences of the same
+/// subprogram cost one worker slot, and a later cache hit serves both.
+fn prewarm_distinct_blocks(
+    blocks: &[Block],
+    opts: &HsOptions,
+    cache: &CompileCache,
+    block_threads: usize,
+) {
+    let mut seen = std::collections::HashSet::new();
+    let mut work: Vec<(reqisc_qmath::CMat, usize, usize)> = Vec::new();
+    for b in blocks {
+        let count = b.count_2q();
+        if count > opts.m_th && b.qubits.len() >= 2 && b.qubits.len() <= 3 {
+            let budget = opts.search.max_blocks.min(count.saturating_sub(1));
+            if budget == 0 {
+                continue; // degenerate budgets bypass the cache entirely
+            }
+            let target = b.unitary();
+            if seen.insert((target.fingerprint(), b.qubits.len(), budget)) {
+                work.push((target, b.qubits.len(), count));
+            }
+        }
+    }
+    if work.len() < 2 {
+        return; // nothing to overlap
+    }
+    let threads = block_threads.min(work.len());
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some((target, nq, count)) = work.get(i) else { break };
+                cache.synthesize_if_shorter_cached(target, *nq, *count, &opts.search);
+            });
+        }
+    });
 }
 
 fn emit_block(out: &mut Circuit, b: &Block, opts: &HsOptions, cache: Option<&CompileCache>) {
@@ -186,6 +253,38 @@ mod tests {
         );
         assert!(h.count_2q() < cx_count);
         check_equiv(&c, &h);
+    }
+
+    #[test]
+    fn block_batching_is_bit_identical_to_serial() {
+        // One large program with several distinct dense 3Q regions — the
+        // shape block-level batching exists for. Fanning its distinct
+        // blocks over workers must change wall-clock only, never a bit of
+        // the output.
+        let mut c = Circuit::new(6);
+        for base in [0usize, 3] {
+            for k in 0..4 {
+                c.push(Gate::Cx(base, base + 1));
+                c.push(Gate::H(base + 1));
+                c.push(Gate::Cx(base + 1, base + 2));
+                c.push(Gate::T(base + 2));
+                if k % 2 == 0 {
+                    c.push(Gate::Cx(base, base + 2));
+                }
+            }
+        }
+        c.push(Gate::Ccx(1, 2, 3));
+        c.push(Gate::Ccx(2, 3, 4));
+        let opts = quick_opts();
+        let serial = hierarchical_synthesis(&c, &opts);
+        let cache = CompileCache::new();
+        let batched = hierarchical_synthesis_batched(&c, &opts, Some(&cache), 4);
+        assert_eq!(batched, serial, "block batching changed the result");
+        assert!(cache.stats().synthesis.inserts >= 2, "distinct blocks should prewarm the pool");
+        // A rerun is pure hits (the prewarm populated the shared pool).
+        let rerun = hierarchical_synthesis_batched(&c, &opts, Some(&cache), 4);
+        assert_eq!(rerun, serial);
+        check_equiv(&c, &batched);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod partition;
 pub mod pauli_frontend;
 pub mod pipelines;
 pub mod sabre;
+pub mod store;
 pub mod template_pass;
 pub mod topology;
 pub mod variational;
@@ -40,11 +41,16 @@ pub use reqisc_microarch::cache::CacheStats;
 pub use cnot_opt::{merge_pauli_rotations, qiskit_like, resynthesize_to_cx, tket_like};
 pub use compact::{compact, gates_commute, CompactOptions};
 pub use fuse::fuse_2q;
-pub use hierarchical::{hierarchical_synthesis, hierarchical_synthesis_cached, HsOptions};
+pub use hierarchical::{
+    hierarchical_synthesis, hierarchical_synthesis_batched, hierarchical_synthesis_cached,
+    HsOptions,
+};
 pub use pauli_frontend::{compile_pauli_program, emit_pauli_rotation, Axis, PauliRotation};
 pub use partition::{compactness, partition_3q, reassemble, Block, PartitionOptions};
+pub use store::{CacheStore, LoadOutcome, StoreStats, STORE_FORMAT_VERSION};
 pub use pipelines::{
-    distinct_su4_count, gate_duration, metrics, Compiler, Metrics, Pipeline,
+    distinct_su4_count, distinct_su4_count_with_tol, gate_duration, metrics, Compiler, Metrics,
+    Pipeline,
 };
 pub use sabre::{
     expand_swaps_to_cx, route, routing_preserves_semantics, RouteOptions, Routed, Router,

@@ -4,7 +4,7 @@
 use crate::cache::{hs_options_fingerprint, CompileCache, CompileCacheStats};
 use crate::cnot_opt::{qiskit_like, tket_like};
 use crate::fuse::fuse_2q;
-use crate::hierarchical::{hierarchical_synthesis_cached, HsOptions};
+use crate::hierarchical::{hierarchical_synthesis_batched, HsOptions};
 use crate::template_pass::template_synthesis;
 use reqisc_microarch::{duration_in_g, Coupling};
 use reqisc_qcircuit::{Circuit, Gate};
@@ -68,6 +68,28 @@ impl Pipeline {
     pub fn is_su4(&self) -> bool {
         !matches!(self, Pipeline::Qiskit | Pipeline::Tket)
     }
+
+    /// Stable on-disk tag for the persistent store's program keys.
+    /// Append-only: new variants take fresh numbers, existing values are
+    /// frozen (a renumber must bump the store format version).
+    pub(crate) fn store_tag(&self) -> u8 {
+        match self {
+            Pipeline::Qiskit => 0,
+            Pipeline::Tket => 1,
+            Pipeline::QiskitSu4 => 2,
+            Pipeline::TketSu4 => 3,
+            Pipeline::BqskitSu4 => 4,
+            Pipeline::ReqiscEff => 5,
+            Pipeline::ReqiscFull => 6,
+            Pipeline::ReqiscNc => 7,
+        }
+    }
+
+    /// Inverse of [`Pipeline::store_tag`]; `None` for unknown tags (a
+    /// store file written by a newer build).
+    pub(crate) fn from_store_tag(tag: u8) -> Option<Pipeline> {
+        Pipeline::ALL.iter().copied().find(|p| p.store_tag() == tag)
+    }
 }
 
 /// Shared, reusable compilation context: the pre-synthesized template
@@ -84,6 +106,12 @@ pub struct Compiler {
     /// the cache keys every result under a fingerprint of these options,
     /// so adjustments never serve stale entries.
     pub hs: HsOptions,
+    /// Block-level batching width for single-program compiles: the
+    /// distinct dense blocks of one program are synthesized on up to this
+    /// many scoped workers (`0` = available hardware parallelism, `1` =
+    /// serial). Results are bit-identical at any setting, so this is
+    /// deliberately *not* part of the cache key.
+    pub block_threads: usize,
     cache: CompileCache,
 }
 
@@ -93,9 +121,18 @@ impl Compiler {
     pub fn new() -> Self {
         let mut search = SearchOptions::default();
         search.sweep.restarts = 3;
+        Self::new_with_library(TemplateLibrary::builtin(&search))
+    }
+
+    /// Builds a compiler around an existing template library — the cheap
+    /// constructor for callers that need many compilers with *fresh
+    /// caches* (store tests, multi-tenant fronts) without re-synthesizing
+    /// the library each time.
+    pub fn new_with_library(library: TemplateLibrary) -> Self {
         Self {
-            library: TemplateLibrary::builtin(&search),
+            library,
             hs: HsOptions::default(),
+            block_threads: 0,
             cache: CompileCache::new(),
         }
     }
@@ -117,11 +154,29 @@ impl Compiler {
     /// per call is the cost of the owned return type every existing
     /// consumer expects; lookups themselves are a single content hash.)
     pub fn compile(&self, c: &Circuit, p: Pipeline) -> Circuit {
+        self.compile_with_block_threads(c, p, self.effective_block_threads())
+    }
+
+    /// The configured [`Compiler::block_threads`] with `0` resolved to the
+    /// available hardware parallelism.
+    fn effective_block_threads(&self) -> usize {
+        if self.block_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.block_threads
+        }
+    }
+
+    /// [`Compiler::compile`] with an explicit block-batching width —
+    /// the internal entry point [`Compiler::compile_batch`] workers use so
+    /// program-level and block-level parallelism compose instead of
+    /// oversubscribing.
+    fn compile_with_block_threads(&self, c: &Circuit, p: Pipeline, bt: usize) -> Circuit {
         let key = crate::cache::ProgramKey::new(c, p, hs_options_fingerprint(&self.hs));
         if let Some(hit) = self.cache.get_program(&key) {
             return (*hit).clone();
         }
-        let out = self.compile_cold(c, p);
+        let out = self.run_pipeline(c, p, Some(&self.cache), bt);
         self.cache.put_program(key, Arc::new(out.clone()));
         out
     }
@@ -130,17 +185,16 @@ impl Compiler {
     /// (block-level pools are also bypassed). This is the reference cold
     /// path the property/stress tests compare cache hits against.
     pub fn compile_uncached(&self, c: &Circuit, p: Pipeline) -> Circuit {
-        self.run_pipeline(c, p, None)
+        self.run_pipeline(c, p, None, 1)
     }
 
-    /// Cold path: run the pipeline, sharing the block-synthesis and pulse
-    /// pools (a program-level miss still reuses every repeated dense
-    /// block seen so far).
-    fn compile_cold(&self, c: &Circuit, p: Pipeline) -> Circuit {
-        self.run_pipeline(c, p, Some(&self.cache))
-    }
-
-    fn run_pipeline(&self, c: &Circuit, p: Pipeline, cache: Option<&CompileCache>) -> Circuit {
+    fn run_pipeline(
+        &self,
+        c: &Circuit,
+        p: Pipeline,
+        cache: Option<&CompileCache>,
+        block_threads: usize,
+    ) -> Circuit {
         match p {
             Pipeline::Qiskit => qiskit_like(c),
             Pipeline::Tket => tket_like(c),
@@ -153,18 +207,18 @@ impl Compiler {
                 let mut o = self.hs.clone();
                 o.m_th = 1;
                 o.compacting = false;
-                hierarchical_synthesis_cached(c, &o, cache)
+                hierarchical_synthesis_batched(c, &o, cache, block_threads)
             }
             Pipeline::ReqiscEff => template_synthesis(c, &self.library),
             Pipeline::ReqiscFull => {
                 let t = template_synthesis(c, &self.library);
-                hierarchical_synthesis_cached(&t, &self.hs, cache)
+                hierarchical_synthesis_batched(&t, &self.hs, cache, block_threads)
             }
             Pipeline::ReqiscNc => {
                 let t = template_synthesis(c, &self.library);
                 let mut o = self.hs.clone();
                 o.compacting = false;
-                hierarchical_synthesis_cached(&t, &o, cache)
+                hierarchical_synthesis_batched(&t, &o, cache, block_threads)
             }
         }
     }
@@ -178,21 +232,29 @@ impl Compiler {
     /// starve the rest of a worker's stripe; results are bit-identical to
     /// the serial path because every pipeline is deterministic and cache
     /// entries are immutable once written.
+    ///
+    /// Leftover parallelism flows down a level: when there are fewer jobs
+    /// than threads (one big program in the extreme), each worker batches
+    /// that program's distinct dense blocks across the spare threads — so
+    /// a single large program saturates the machine the same way a suite
+    /// of small ones does.
     pub fn compile_batch(&self, jobs: &[(&Circuit, Pipeline)], threads: usize) -> Vec<Circuit> {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
             threads
-        }
-        .min(jobs.len().max(1));
+        };
+        let workers = threads.min(jobs.len().max(1));
+        // Spare threads (if any) become per-job block-batching width.
+        let block_threads = (threads / jobs.len().max(1)).max(1);
         let slots: Vec<OnceLock<Circuit>> = jobs.iter().map(|_| OnceLock::new()).collect();
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..threads {
+            for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(&(c, p)) = jobs.get(i) else { break };
-                    let out = self.compile(c, p);
+                    let out = self.compile_with_block_threads(c, p, block_threads);
                     slots[i].set(out).expect("job slot written twice");
                 });
             }
@@ -258,11 +320,26 @@ pub fn metrics(c: &Circuit, cp: &Coupling) -> Metrics {
     }
 }
 
-/// Counts distinct SU(4) classes in a compiled circuit — the calibration
-/// cost (paper §6.5). Two gates are "the same instruction" when their Weyl
-/// coordinates agree within `tol` (1Q corrections are calibration-free via
-/// the PMW protocol, §5.3.1).
-pub fn distinct_su4_count(c: &Circuit, tol: f64) -> usize {
+/// Counts distinct SU(4) classes in a compiled circuit at the default
+/// grouping tolerance [`reqisc_qmath::SU4_CLASS_TOL`] — the calibration
+/// cost (paper §6.5). Two gates are "the same instruction" when their
+/// Weyl coordinates agree within the tolerance (1Q corrections are
+/// calibration-free via the PMW protocol, §5.3.1).
+///
+/// The default is the right call for essentially every consumer:
+/// synthesis converges to ~1e-11 infidelity, which leaves ~1e-6
+/// coordinate noise, so grouping tighter than 1e-5 over-splits identical
+/// instructions (and silently diverges from the pulse cache's own class
+/// keys). Pass a different tolerance explicitly via
+/// [`distinct_su4_count_with_tol`] only when you have a reason.
+pub fn distinct_su4_count(c: &Circuit) -> usize {
+    distinct_su4_count_with_tol(c, reqisc_qmath::SU4_CLASS_TOL)
+}
+
+/// [`distinct_su4_count`] at an explicit grouping tolerance. Tolerances
+/// below [`reqisc_qmath::SU4_CLASS_TOL`] are noise-sensitive — they count
+/// synthesis jitter as distinct instructions.
+pub fn distinct_su4_count_with_tol(c: &Circuit, tol: f64) -> usize {
     let mut classes: Vec<reqisc_qmath::WeylCoord> = Vec::new();
     for g in c.gates() {
         if !g.is_2q() {
@@ -355,14 +432,20 @@ mod tests {
     #[test]
     fn calibration_counts() {
         let c = toffoli_chain();
-        // Group at 1e-5: the synthesis sweep stops at infidelity ~1e-11,
-        // which leaves per-run Weyl-coordinate noise of order 1e-6, so a
-        // tighter tolerance over-splits identical gate classes.
+        // The default tolerance groups at SU4_CLASS_TOL = 1e-5: the
+        // synthesis sweep stops at infidelity ~1e-11, which leaves per-run
+        // Weyl-coordinate noise of order 1e-6, so a tighter tolerance
+        // over-splits identical gate classes.
         let eff = compiler().compile(&c, Pipeline::ReqiscEff);
-        let n_eff = distinct_su4_count(&eff, 1e-5);
+        let n_eff = distinct_su4_count(&eff);
         assert!(n_eff > 0 && n_eff < 12, "eff distinct = {n_eff}");
+        assert_eq!(
+            n_eff,
+            distinct_su4_count_with_tol(&eff, reqisc_qmath::SU4_CLASS_TOL),
+            "default must equal the explicit SU4_CLASS_TOL call"
+        );
         let bq = compiler().compile(&c, Pipeline::BqskitSu4);
-        let n_bq = distinct_su4_count(&bq, 1e-5);
+        let n_bq = distinct_su4_count(&bq);
         // BQSKit-style synthesis produces (at least as) diverse gates.
         assert!(n_bq + 2 >= n_eff, "bqskit {n_bq} vs eff {n_eff}");
     }

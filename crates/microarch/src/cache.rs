@@ -13,8 +13,9 @@
 //! classes rarely contend.
 
 use crate::coupling::Coupling;
-use crate::scheme::{solve_pulse, PulseSolution, SolveError};
-use crate::solver::evolve;
+use crate::duration::Image;
+use crate::scheme::{solve_pulse, PulseSolution, SolveError, Subscheme};
+use crate::solver::{evolve, PulseParams};
 use reqisc_qmath::weyl::WeylCoord;
 use reqisc_qmath::{kak_decompose, CMat, Kak, WeylClassKey, SU4_CLASS_TOL};
 use std::collections::hash_map::DefaultHasher;
@@ -182,6 +183,32 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedMap<K, V> {
         }
         shard.insert(key, value);
         self.counters.inserts.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Seeds `key → value` without touching the hit/miss/insert counters —
+    /// the warm-start path used when a persistent store is loaded into a
+    /// fresh cache. Counter-free seeding keeps [`CacheStats::is_consistent`]
+    /// (`inserts ≤ misses`) true, and keeps hit rates meaningful: a
+    /// disk-warmed entry served later still counts as a *hit* against zero
+    /// misses. Respects the capacity bound by skipping (never evicting):
+    /// live inserts outrank bulk-loaded entries.
+    pub fn seed(&self, key: K, value: V) {
+        let mut shard = self.shard_of(&key).write().expect("cache shard poisoned");
+        if shard.len() >= self.shard_capacity && !shard.contains_key(&key) {
+            return;
+        }
+        shard.insert(key, value);
+    }
+
+    /// Visits every resident entry (per-shard read locks; entries seeded
+    /// or inserted concurrently may or may not be visited). The export
+    /// path of the persistent store.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for s in &self.shards {
+            for (k, v) in s.read().expect("cache shard poisoned").iter() {
+                f(k, v);
+            }
+        }
     }
 
     /// Memoizing lookup: on a miss, computes the value *outside* any lock
@@ -356,6 +383,23 @@ impl PulseCache {
         })
     }
 
+    /// Exports every memoized class as `((coupling class key, Weyl class
+    /// key), solution)` — the pulse pool's half of a persistent-store
+    /// save.
+    pub fn export_classes(&self) -> Vec<(([i64; 3], WeylClassKey), Arc<SolvedClass>)> {
+        let mut out = Vec::with_capacity(self.map.len());
+        self.map.for_each(|k, v| out.push(((k.coupling, k.class), v.clone())));
+        out
+    }
+
+    /// Seeds one class solution under explicit key parts (counter-free —
+    /// see [`ShardedMap::seed`]). The store's load path; keys must have
+    /// been produced by [`Coupling::class_key`] / [`WeylCoord::class_key`]
+    /// at [`SU4_CLASS_TOL`], which the save path guarantees.
+    pub fn seed_class(&self, coupling: [i64; 3], class: WeylClassKey, entry: Arc<SolvedClass>) {
+        self.map.seed(PulseKey { coupling, class }, entry);
+    }
+
     /// Counter snapshot of the class memo table.
     pub fn stats(&self) -> CacheStats {
         self.map.stats()
@@ -375,6 +419,64 @@ impl PulseCache {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+}
+
+/// Encodes a [`SolvedClass`] for the persistent compile store: the pulse
+/// program fields in declaration order, then the evolution KAK. Field
+/// order and tag values are frozen (see `reqisc_qmath::bytes`); changes
+/// require a store format-version bump.
+pub fn write_solved_class(w: &mut reqisc_qmath::ByteWriter, s: &SolvedClass) {
+    let p = &s.pulse;
+    w.put_f64(p.tau);
+    w.put_f64(p.params.omega1);
+    w.put_f64(p.params.omega2);
+    w.put_f64(p.params.delta);
+    w.put_u8(match p.subscheme {
+        Subscheme::Nd => 0,
+        Subscheme::EaPlus => 1,
+        Subscheme::EaMinus => 2,
+    });
+    w.put_u8(match p.image {
+        Image::Direct => 0,
+        Image::Mirrored => 1,
+    });
+    reqisc_qmath::bytes::write_weyl(w, &p.target);
+    w.put_f64(p.residual);
+    reqisc_qmath::bytes::write_kak(w, &s.evo_kak);
+}
+
+/// Decodes a [`SolvedClass`].
+///
+/// # Errors
+///
+/// [`reqisc_qmath::CodecError`] on truncation or invalid enum tags.
+pub fn read_solved_class(
+    r: &mut reqisc_qmath::ByteReader<'_>,
+) -> Result<SolvedClass, reqisc_qmath::CodecError> {
+    let tau = r.get_f64()?;
+    let params = PulseParams {
+        omega1: r.get_f64()?,
+        omega2: r.get_f64()?,
+        delta: r.get_f64()?,
+    };
+    let subscheme = match r.get_u8()? {
+        0 => Subscheme::Nd,
+        1 => Subscheme::EaPlus,
+        2 => Subscheme::EaMinus,
+        t => return Err(reqisc_qmath::CodecError::new(format!("unknown subscheme tag {t}"))),
+    };
+    let image = match r.get_u8()? {
+        0 => Image::Direct,
+        1 => Image::Mirrored,
+        t => return Err(reqisc_qmath::CodecError::new(format!("unknown image tag {t}"))),
+    };
+    let target = reqisc_qmath::bytes::read_weyl(r)?;
+    let residual = r.get_f64()?;
+    let evo_kak = reqisc_qmath::bytes::read_kak(r)?;
+    Ok(SolvedClass {
+        pulse: PulseSolution { tau, params, subscheme, image, target, residual },
+        evo_kak,
+    })
 }
 
 #[cfg(test)]
@@ -441,6 +543,47 @@ mod tests {
         cache.solve(&Coupling::xx(1.0), &w).expect("solve");
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn solved_class_codec_roundtrips_and_reseeds() {
+        let cache = PulseCache::new();
+        let cp = Coupling::xy(1.0);
+        cache.solve(&cp, &WeylCoord::cnot()).expect("solve");
+        // iSWAP is drive-free under XY — a cheap second class with a
+        // different subscheme/KAK shape for the codec to exercise.
+        cache.solve(&cp, &WeylCoord::iswap()).expect("solve");
+        let exported = cache.export_classes();
+        assert_eq!(exported.len(), 2);
+        // Round-trip every class through the codec into a fresh cache.
+        let warm = PulseCache::new();
+        for (key, entry) in &exported {
+            let mut w = reqisc_qmath::ByteWriter::new();
+            write_solved_class(&mut w, entry);
+            let bytes = w.into_bytes();
+            let mut r = reqisc_qmath::ByteReader::new(&bytes);
+            let back = read_solved_class(&mut r).expect("roundtrip");
+            assert!(r.is_exhausted());
+            assert_eq!(back.pulse.tau.to_bits(), entry.pulse.tau.to_bits());
+            assert_eq!(back.pulse.subscheme, entry.pulse.subscheme);
+            assert!(back.evo_kak.reconstruct().approx_eq(&entry.evo_kak.reconstruct(), 0.0));
+            warm.seed_class(key.0, key.1, Arc::new(back));
+            // Truncations fail cleanly.
+            for cut in (0..bytes.len()).step_by(17) {
+                assert!(read_solved_class(&mut reqisc_qmath::ByteReader::new(&bytes[..cut]))
+                    .is_err());
+            }
+        }
+        // Seeding is counter-free and the seeded entries serve as hits.
+        let s = warm.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (0, 0, 0));
+        assert_eq!(warm.len(), 2);
+        let a = warm.solve(&cp, &WeylCoord::cnot()).expect("warm solve");
+        assert_eq!(warm.stats().hits, 1, "seeded entry must hit");
+        // The reloaded realization is still exact.
+        let r = warm.realize(&cp, &qg::cnot()).expect("realize");
+        assert!(r.reconstruct(&cp).approx_eq(&qg::cnot(), 1e-6));
+        assert!(a.pulse.residual < 1e-7);
     }
 
     #[test]

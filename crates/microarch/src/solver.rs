@@ -171,6 +171,62 @@ pub struct EaSolution {
     pub residual: f64,
 }
 
+/// One candidate NM start: `(residual, α, β, simplex step, family)`.
+type Seed = (f64, f64, f64, f64, u8);
+
+/// Seed families of the EA grid search. The sliver rows are *edge*
+/// families: their roots live where the coarse grid cannot see them.
+const SEED_FAMILY_GRID: u8 = 0;
+const SEED_FAMILY_TINY_BETA: u8 = 1;
+const SEED_FAMILY_ALPHA_EDGE: u8 = 2;
+
+/// Refinement budget: how many globally best-residual seeds get a
+/// Nelder–Mead run per tier.
+const TOP_SEEDS: usize = 16;
+
+/// Minimum refined seeds from each *edge* family (when it has any).
+///
+/// Selection used to be purely residual-ranked (`sort; take(16)`), which
+/// starved the β = O(10⁻³) and 1 − α = O(10⁻³) sliver rows whenever ≥ 16
+/// coarse-grid seeds ranked ahead — frontier-marginal targets then
+/// converged only by luck. Sliver seeds can rank poorly initially (they
+/// start far from the coarse landscape's shallow basins) yet be the only
+/// starts that reach the true root, so each edge family is guaranteed
+/// this many refinement slots regardless of rank.
+const EDGE_SEED_QUOTA: usize = 4;
+
+/// Picks the seeds to refine, in two waves:
+///
+/// * **primary** — the globally best [`TOP_SEEDS`] by initial residual
+///   (exactly the historical choice, so the common converging path costs
+///   what it always did);
+/// * **reserve** — the best remaining seeds of any edge family holding
+///   fewer than [`EDGE_SEED_QUOTA`] primary slots. The caller refines
+///   these only when *no* primary seed converges — which is precisely the
+///   starvation case the quota exists for (everything the coarse ranking
+///   liked was a false basin, and the sliver rows it starved hold the
+///   real root).
+fn select_seed_indices(seeds: &[Seed]) -> (Vec<usize>, Vec<usize>) {
+    let mut order: Vec<usize> = (0..seeds.len()).collect();
+    order.sort_by(|&a, &b| seeds[a].0.partial_cmp(&seeds[b].0).unwrap());
+    let primary: Vec<usize> = order.iter().copied().take(TOP_SEEDS).collect();
+    let mut reserve: Vec<usize> = Vec::new();
+    for fam in [SEED_FAMILY_TINY_BETA, SEED_FAMILY_ALPHA_EDGE] {
+        let have = primary.iter().filter(|&&i| seeds[i].4 == fam).count();
+        if have >= EDGE_SEED_QUOTA {
+            continue;
+        }
+        reserve.extend(
+            order
+                .iter()
+                .copied()
+                .filter(|&i| seeds[i].4 == fam && !primary.contains(&i))
+                .take(EDGE_SEED_QUOTA - have),
+        );
+    }
+    (primary, reserve)
+}
+
 /// Solves an EA subscheme by coarse grid search + Nelder–Mead refinement
 /// over `(α, β)`, returning all distinct converged roots sorted by
 /// implementation penalty (paper §4.2).
@@ -195,7 +251,7 @@ pub fn solve_ea(cp: &Coupling, sign: EaSign, w: &WeylCoord, tau: f64, tol: f64) 
         // 0.08, while the log-spaced tiny-β row (roots for frontier-marginal
         // targets live in a sliver β = O(10⁻³)) needs a step that does not
         // overshoot the sliver.
-        let mut seeds: Vec<(f64, f64, f64, f64)> = Vec::new();
+        let mut seeds: Vec<Seed> = Vec::new();
         for i in 0..=grid {
             for jj in 0..=grid {
                 let al = i as f64 / grid as f64;
@@ -203,7 +259,7 @@ pub fn solve_ea(cp: &Coupling, sign: EaSign, w: &WeylCoord, tau: f64, tol: f64) 
                 if al + be < eta - 1e-12 {
                     continue;
                 }
-                seeds.push((f(al, be), al, be, 0.08));
+                seeds.push((f(al, be), al, be, 0.08, SEED_FAMILY_GRID));
             }
         }
         let first_of_grid = beta_max == 2.5 || beta_max == 40.0;
@@ -218,7 +274,7 @@ pub fn solve_ea(cp: &Coupling, sign: EaSign, w: &WeylCoord, tau: f64, tol: f64) 
                     if al + be < eta - 1e-12 {
                         continue;
                     }
-                    seeds.push((f(al, be), al, be, 0.004));
+                    seeds.push((f(al, be), al, be, 0.004, SEED_FAMILY_TINY_BETA));
                 }
             }
         }
@@ -232,27 +288,45 @@ pub fn solve_ea(cp: &Coupling, sign: EaSign, w: &WeylCoord, tau: f64, tol: f64) 
                 if al + be < eta - 1e-12 {
                     continue;
                 }
-                seeds.push((f(al, be), al, be, 0.004));
+                seeds.push((f(al, be), al, be, 0.004, SEED_FAMILY_ALPHA_EDGE));
             }
         }
-        seeds.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        for &(_, al0, be0, step) in seeds.iter().take(16) {
-            if let Some((al, be, r)) = nelder_mead_2d(&f, al0, be0, step, 600) {
-                if r < tol {
-                    let alc = al.clamp(0.0, 1.0);
-                    let bec = be.max(0.0).max(eta - alc);
-                    let params = ea_params(cp, sign, alc, bec);
-                    // Deduplicate by pulse parameters.
-                    if !solutions.iter().any(|s| {
-                        (s.params.omega1 - params.omega1).abs()
-                            + (s.params.omega2 - params.omega2).abs()
-                            + (s.params.delta - params.delta).abs()
-                            < 1e-6 * (1.0 + params.penalty())
-                    }) {
-                        solutions.push(EaSolution { alpha: alc, beta: bec, params, residual: r });
+        let refine = |indices: &[usize], solutions: &mut Vec<EaSolution>| {
+            for &i in indices {
+                let (_, al0, be0, step, _) = seeds[i];
+                if let Some((al, be, r)) = nelder_mead_2d(&f, al0, be0, step, 600) {
+                    if r < tol {
+                        let alc = al.clamp(0.0, 1.0);
+                        let bec = be.max(0.0).max(eta - alc);
+                        let params = ea_params(cp, sign, alc, bec);
+                        // Deduplicate by pulse parameters.
+                        if !solutions.iter().any(|s| {
+                            (s.params.omega1 - params.omega1).abs()
+                                + (s.params.omega2 - params.omega2).abs()
+                                + (s.params.delta - params.delta).abs()
+                                < 1e-6 * (1.0 + params.penalty())
+                        }) {
+                            solutions.push(EaSolution {
+                                alpha: alc,
+                                beta: bec,
+                                params,
+                                residual: r,
+                            });
+                        }
                     }
                 }
             }
+        };
+        let (primary, reserve) = select_seed_indices(&seeds);
+        refine(&primary, &mut solutions);
+        if solutions.is_empty() && first_of_grid {
+            // The coarse ranking converged nowhere: give the starved edge
+            // slivers their guaranteed shot before escalating tiers. Only
+            // the tiers that seed the *full* edge rows (the first of each
+            // grid size) carry a reserve — later tiers re-seed only the
+            // tier-dependent α-edge columns, and paying 8 extra NM runs on
+            // every escalation would tax all failure paths ~50%.
+            refine(&reserve, &mut solutions);
         }
         if !solutions.is_empty() {
             break;
@@ -387,6 +461,69 @@ mod tests {
         let p = solve_nd(&cp, &w, tau);
         assert!(p.penalty() < 1e-12);
         assert!(residual(&cp, &p, tau, &w) < 1e-9);
+    }
+
+    #[test]
+    fn seed_selection_guarantees_edge_family_quota() {
+        // The starvation scenario: 30 coarse-grid seeds all rank ahead of
+        // every sliver seed. Pure residual ranking would refine 16 grid
+        // seeds and zero sliver seeds.
+        let mut seeds: Vec<Seed> = Vec::new();
+        for k in 0..30 {
+            seeds.push((1e-3 + k as f64 * 1e-5, 0.5, 1.0, 0.08, SEED_FAMILY_GRID));
+        }
+        for k in 0..8 {
+            seeds.push((0.5 + k as f64 * 0.01, 0.3, 1e-3, 0.004, SEED_FAMILY_TINY_BETA));
+        }
+        for k in 0..8 {
+            seeds.push((0.6 + k as f64 * 0.01, 0.999, 2.0, 0.004, SEED_FAMILY_ALPHA_EDGE));
+        }
+        let (primary, reserve) = select_seed_indices(&seeds);
+        // The primary wave is exactly the historical ranking — all grid.
+        assert_eq!(primary.len(), TOP_SEEDS);
+        for k in 0..TOP_SEEDS {
+            assert!(primary.contains(&k), "top-ranked grid seed {k} displaced");
+        }
+        // Both starved edge families hold their full reserve quota.
+        let count = |fam: u8| reserve.iter().filter(|&&i| seeds[i].4 == fam).count();
+        assert_eq!(count(SEED_FAMILY_TINY_BETA), EDGE_SEED_QUOTA, "tiny-β row starved");
+        assert_eq!(count(SEED_FAMILY_ALPHA_EDGE), EDGE_SEED_QUOTA, "α-edge row starved");
+        assert_eq!(reserve.len(), 2 * EDGE_SEED_QUOTA);
+        let mut all: Vec<usize> = primary.iter().chain(&reserve).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), TOP_SEEDS + 2 * EDGE_SEED_QUOTA, "overlap between waves");
+        // Within each family the *best* members are taken.
+        assert!(reserve.contains(&30) && reserve.contains(&38));
+    }
+
+    #[test]
+    fn seed_selection_counts_edge_seeds_already_in_top() {
+        // Edge seeds that rank inside the global top count toward their
+        // family's quota — no redundant appends, no duplicates.
+        let mut seeds: Vec<Seed> = Vec::new();
+        for k in 0..6 {
+            seeds.push((1e-4 * (k + 1) as f64, 0.3, 1e-3, 0.004, SEED_FAMILY_TINY_BETA));
+        }
+        for k in 0..20 {
+            seeds.push((1e-2 + k as f64 * 1e-4, 0.5, 1.0, 0.08, SEED_FAMILY_GRID));
+        }
+        let (primary, reserve) = select_seed_indices(&seeds);
+        // All 6 tiny-β seeds rank in the top 16 already: quota satisfied,
+        // no reserve for that family; no α-edge seeds exist at all.
+        assert_eq!(primary.len(), TOP_SEEDS);
+        assert!(reserve.is_empty(), "reserve should be empty: {reserve:?}");
+    }
+
+    #[test]
+    fn seed_selection_degrades_gracefully_without_edge_seeds() {
+        // Later tiers re-seed only parts of the edge rows; absent families
+        // simply cede their slots to the global ranking.
+        let seeds: Vec<Seed> =
+            (0..5).map(|k| (k as f64, 0.5, 1.0, 0.08, SEED_FAMILY_GRID)).collect();
+        let (primary, reserve) = select_seed_indices(&seeds);
+        assert_eq!(primary, vec![0, 1, 2, 3, 4]);
+        assert!(reserve.is_empty());
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Binary codec for [`Gate`] and [`Circuit`] — the value format of the
+//! persistent compile store's whole-program pool.
+//!
+//! Encoding is deterministic and exact (angles and SU(4) matrices
+//! round-trip bit-for-bit, so a reloaded circuit has the same
+//! [`Circuit::content_hash`] as the one saved). Decoding is total: every
+//! branch bounds-checks and validates qubit indices against the declared
+//! register width, so corrupted input yields a [`CodecError`], never a
+//! panic. Gate tags are append-only — adding a variant appends a new tag
+//! and bumps the store format version; existing tags never renumber.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use reqisc_qmath::bytes::{read_cmat, read_weyl, write_cmat, write_weyl};
+use reqisc_qmath::{ByteReader, ByteWriter, CodecError};
+
+/// Encodes one gate (tag byte + fields).
+pub fn write_gate(w: &mut ByteWriter, g: &Gate) {
+    use Gate::*;
+    match g {
+        X(q) => put1(w, 0, *q),
+        Y(q) => put1(w, 1, *q),
+        Z(q) => put1(w, 2, *q),
+        H(q) => put1(w, 3, *q),
+        S(q) => put1(w, 4, *q),
+        Sdg(q) => put1(w, 5, *q),
+        T(q) => put1(w, 6, *q),
+        Tdg(q) => put1(w, 7, *q),
+        Rx(q, a) => put1a(w, 8, *q, &[*a]),
+        Ry(q, a) => put1a(w, 9, *q, &[*a]),
+        Rz(q, a) => put1a(w, 10, *q, &[*a]),
+        U3(q, t, p, l) => put1a(w, 11, *q, &[*t, *p, *l]),
+        Cx(a, b) => put2(w, 12, *a, *b),
+        Cz(a, b) => put2(w, 13, *a, *b),
+        Swap(a, b) => put2(w, 14, *a, *b),
+        ISwap(a, b) => put2(w, 15, *a, *b),
+        SqiSw(a, b) => put2(w, 16, *a, *b),
+        BGate(a, b) => put2(w, 17, *a, *b),
+        Rzz(a, b, th) => {
+            put2(w, 18, *a, *b);
+            w.put_f64(*th);
+        }
+        Can(a, b, c) => {
+            put2(w, 19, *a, *b);
+            write_weyl(w, c);
+        }
+        Su4(a, b, m) => {
+            put2(w, 20, *a, *b);
+            write_cmat(w, m);
+        }
+        Ccx(a, b, c) => {
+            put2(w, 21, *a, *b);
+            w.put_usize(*c);
+        }
+        Peres(a, b, c) => {
+            put2(w, 22, *a, *b);
+            w.put_usize(*c);
+        }
+        Mcx(cs, t) => {
+            w.put_u8(23);
+            w.put_usize(cs.len());
+            for c in cs {
+                w.put_usize(*c);
+            }
+            w.put_usize(*t);
+        }
+    }
+}
+
+fn put1(w: &mut ByteWriter, tag: u8, q: usize) {
+    w.put_u8(tag);
+    w.put_usize(q);
+}
+
+fn put1a(w: &mut ByteWriter, tag: u8, q: usize, angles: &[f64]) {
+    put1(w, tag, q);
+    for a in angles {
+        w.put_f64(*a);
+    }
+}
+
+fn put2(w: &mut ByteWriter, tag: u8, a: usize, b: usize) {
+    w.put_u8(tag);
+    w.put_usize(a);
+    w.put_usize(b);
+}
+
+/// Decodes one gate.
+///
+/// # Errors
+///
+/// [`CodecError`] on truncation or an unknown tag.
+pub fn read_gate(r: &mut ByteReader<'_>) -> Result<Gate, CodecError> {
+    use Gate::*;
+    let tag = r.get_u8()?;
+    Ok(match tag {
+        0 => X(r.get_usize()?),
+        1 => Y(r.get_usize()?),
+        2 => Z(r.get_usize()?),
+        3 => H(r.get_usize()?),
+        4 => S(r.get_usize()?),
+        5 => Sdg(r.get_usize()?),
+        6 => T(r.get_usize()?),
+        7 => Tdg(r.get_usize()?),
+        8 => Rx(r.get_usize()?, r.get_f64()?),
+        9 => Ry(r.get_usize()?, r.get_f64()?),
+        10 => Rz(r.get_usize()?, r.get_f64()?),
+        11 => U3(r.get_usize()?, r.get_f64()?, r.get_f64()?, r.get_f64()?),
+        12 => Cx(r.get_usize()?, r.get_usize()?),
+        13 => Cz(r.get_usize()?, r.get_usize()?),
+        14 => Swap(r.get_usize()?, r.get_usize()?),
+        15 => ISwap(r.get_usize()?, r.get_usize()?),
+        16 => SqiSw(r.get_usize()?, r.get_usize()?),
+        17 => BGate(r.get_usize()?, r.get_usize()?),
+        18 => Rzz(r.get_usize()?, r.get_usize()?, r.get_f64()?),
+        19 => {
+            let (a, b) = (r.get_usize()?, r.get_usize()?);
+            Can(a, b, read_weyl(r)?)
+        }
+        20 => {
+            let (a, b) = (r.get_usize()?, r.get_usize()?);
+            let m = read_cmat(r)?;
+            if m.rows() != 4 || m.cols() != 4 {
+                return Err(CodecError::new(format!(
+                    "Su4 block must be 4x4, got {}x{}",
+                    m.rows(),
+                    m.cols()
+                )));
+            }
+            Su4(a, b, Box::new(m))
+        }
+        21 => Ccx(r.get_usize()?, r.get_usize()?, r.get_usize()?),
+        22 => Peres(r.get_usize()?, r.get_usize()?, r.get_usize()?),
+        23 => {
+            let n = r.get_count(8)?;
+            let mut cs = Vec::with_capacity(n);
+            for _ in 0..n {
+                cs.push(r.get_usize()?);
+            }
+            Mcx(cs, r.get_usize()?)
+        }
+        other => return Err(CodecError::new(format!("unknown gate tag {other}"))),
+    })
+}
+
+/// Encodes a circuit: register width, gate count, gates.
+pub fn write_circuit(w: &mut ByteWriter, c: &Circuit) {
+    w.put_usize(c.num_qubits());
+    w.put_usize(c.len());
+    for g in c.gates() {
+        write_gate(w, g);
+    }
+}
+
+/// Decodes a circuit, validating every gate's qubit indices against the
+/// declared register width (so [`Circuit::from_gates`]'s panic can never
+/// be reached from untrusted bytes).
+///
+/// # Errors
+///
+/// [`CodecError`] on truncation, unknown tags, or out-of-range qubits.
+pub fn read_circuit(r: &mut ByteReader<'_>) -> Result<Circuit, CodecError> {
+    let num_qubits = r.get_usize()?;
+    // Workspace-wide operators are dense 2^n matrices; a width beyond 64
+    // can only be corruption.
+    if num_qubits > 64 {
+        return Err(CodecError::new(format!("implausible register width {num_qubits}")));
+    }
+    let n = r.get_count(2)?;
+    let mut gates = Vec::with_capacity(n);
+    for _ in 0..n {
+        let g = read_gate(r)?;
+        let qs = g.qubits();
+        if qs.iter().any(|&q| q >= num_qubits) {
+            return Err(CodecError::new(format!(
+                "gate {} touches a qubit outside the {num_qubits}-qubit register",
+                g.name()
+            )));
+        }
+        // `Circuit::from_gates` also asserts distinctness; check it here
+        // so untrusted bytes can never reach that panic.
+        if (1..qs.len()).any(|i| qs[..i].contains(&qs[i])) {
+            return Err(CodecError::new(format!("gate {} repeats a qubit", g.name())));
+        }
+        gates.push(g);
+    }
+    Ok(Circuit::from_gates(num_qubits, gates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqisc_qmath::gates as qg;
+    use reqisc_qmath::WeylCoord;
+
+    fn sample_gates() -> Vec<Gate> {
+        vec![
+            Gate::X(0),
+            Gate::Y(1),
+            Gate::Z(2),
+            Gate::H(0),
+            Gate::S(1),
+            Gate::Sdg(2),
+            Gate::T(0),
+            Gate::Tdg(1),
+            Gate::Rx(0, -0.25),
+            Gate::Ry(1, 1.75),
+            Gate::Rz(2, std::f64::consts::PI),
+            Gate::U3(0, 0.1, -0.2, 0.3),
+            Gate::Cx(0, 1),
+            Gate::Cz(1, 2),
+            Gate::Swap(0, 2),
+            Gate::ISwap(1, 0),
+            Gate::SqiSw(2, 1),
+            Gate::BGate(0, 1),
+            Gate::Rzz(1, 2, 0.7),
+            Gate::Can(0, 1, WeylCoord::new(0.3, 0.2, -0.1)),
+            Gate::Su4(1, 2, Box::new(qg::iswap())),
+            Gate::Ccx(0, 1, 2),
+            Gate::Peres(2, 1, 0),
+            Gate::Mcx(vec![0, 1], 2),
+        ]
+    }
+
+    #[test]
+    fn every_gate_variant_roundtrips_bitwise() {
+        let c = Circuit::from_gates(3, sample_gates());
+        let mut w = ByteWriter::new();
+        write_circuit(&mut w, &c);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = read_circuit(&mut r).expect("roundtrip");
+        assert!(r.is_exhausted());
+        assert_eq!(back, c);
+        // Bit-exactness is the contract the program pool's content
+        // addressing relies on.
+        assert_eq!(back.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_fail_cleanly() {
+        let c = Circuit::from_gates(3, sample_gates());
+        let mut w = ByteWriter::new();
+        write_circuit(&mut w, &c);
+        let bytes = w.into_bytes();
+        // Every truncation point decodes to an error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(read_circuit(&mut ByteReader::new(&bytes[..cut])).is_err(), "cut {cut}");
+        }
+        // Unknown tag.
+        let mut w = ByteWriter::new();
+        w.put_usize(2);
+        w.put_usize(1);
+        w.put_u8(200);
+        let bad = w.into_bytes();
+        assert!(read_circuit(&mut ByteReader::new(&bad)).is_err());
+    }
+
+    #[test]
+    fn duplicate_qubits_and_malformed_su4_rejected() {
+        // Cx(0, 0) passes the range check but repeats a qubit — it must
+        // produce a CodecError, never reach Circuit::from_gates' assert.
+        let mut w = ByteWriter::new();
+        w.put_usize(2);
+        w.put_usize(1);
+        write_gate(&mut w, &Gate::Cx(0, 0));
+        let bytes = w.into_bytes();
+        assert!(read_circuit(&mut ByteReader::new(&bytes)).is_err());
+        // An Su4 gate whose matrix is not 4x4 fails at decode time, not
+        // later inside embed()/unitary().
+        let mut w = ByteWriter::new();
+        w.put_usize(2);
+        w.put_usize(1);
+        w.put_u8(20);
+        w.put_usize(0);
+        w.put_usize(1);
+        reqisc_qmath::bytes::write_cmat(&mut w, &qg::hadamard()); // 2x2
+        let bytes = w.into_bytes();
+        assert!(read_circuit(&mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn out_of_range_qubits_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_usize(2); // width 2...
+        w.put_usize(1);
+        write_gate(&mut w, &Gate::Cx(0, 5)); // ...but a gate on qubit 5
+        let bytes = w.into_bytes();
+        assert!(read_circuit(&mut ByteReader::new(&bytes)).is_err());
+        // Implausible width.
+        let mut w = ByteWriter::new();
+        w.put_usize(1 << 20);
+        w.put_usize(0);
+        let bytes = w.into_bytes();
+        assert!(read_circuit(&mut ByteReader::new(&bytes)).is_err());
+    }
+}

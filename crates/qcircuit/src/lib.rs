@@ -22,11 +22,13 @@
 //! ```
 
 pub mod circuit;
+pub mod codec;
 pub mod dag;
 pub mod gate;
 pub mod qasm;
 
 pub use circuit::{embed, Circuit};
+pub use codec::{read_circuit, read_gate, write_circuit, write_gate};
 pub use dag::Dag;
 pub use gate::Gate;
 pub use qasm::{emit, parse, ParseQasmError};

@@ -17,6 +17,23 @@
 //!   coefficients) where the paper's calibration argument groups
 //!   instructions at a 1e-5 tolerance. Boundary straddlers may land in
 //!   adjacent buckets — that costs a cache miss, never a wrong hit.
+//!
+//! ## Stability guarantee
+//!
+//! These fingerprints are **persistent-format keys**: the on-disk compile
+//! store (`reqisc-compiler`'s `store` module) addresses entries by them,
+//! so their byte-level definition is frozen. Concretely:
+//!
+//! * the FNV-1a offset/prime constants, the little-endian widening of
+//!   integers, the `-0.0 → 0.0` normalization, and the length-prefixing
+//!   of strings never change silently;
+//! * any change to them (or to a type's `fingerprint()` field order)
+//!   must bump the store's format version so stale files are rejected
+//!   instead of mis-addressed.
+//!
+//! The `golden_digests_are_stable` test pins known digests; if it fails,
+//! you changed the format — bump the store version, don't update the pin
+//! in place without doing so.
 
 /// Incremental 128-bit FNV-1a hasher.
 #[derive(Debug, Clone, Copy)]
@@ -144,6 +161,33 @@ mod tests {
         assert_eq!(quantize(0.100004, 1e-5), quantize(0.100001, 1e-5));
         assert_ne!(quantize(0.2, 1e-5), quantize(0.3, 1e-5));
         assert_eq!(quantize(-0.0, 1.0), 0);
+    }
+
+    /// Golden digests: these exact values are what shipped stores are
+    /// keyed by. A failure here means the hash definition changed — that
+    /// invalidates every on-disk cache, so the store format version must
+    /// be bumped in the same change.
+    #[test]
+    fn golden_digests_are_stable() {
+        let mut h = Fnv128::new();
+        h.write_u64(0x0123_4567_89ab_cdef);
+        assert_eq!(h.finish(), 0x0619_098f_3865_9878_f047_fc45_23ab_fdfd);
+
+        let mut h = Fnv128::new();
+        h.write_str("reqisc");
+        assert_eq!(h.finish(), 0x824e_63be_9a00_24ea_8335_ec8b_1dbe_04ee);
+
+        let mut h = Fnv128::new();
+        h.write_f64_quantized(std::f64::consts::FRAC_PI_4, 1e-5);
+        assert_eq!(quantize(std::f64::consts::FRAC_PI_4, 1e-5), 78540);
+        assert_eq!(h.finish(), 0x5110_c418_d465_97cb_af8d_413b_60b2_cae2);
+
+        // The matrix fingerprint used by the synthesis pool's content
+        // addressing, pinned on CNOT.
+        assert_eq!(
+            crate::gates::cnot().fingerprint(),
+            0xe7d2_16d7_50a4_5ea7_898c_3045_b778_890d
+        );
     }
 
     #[test]

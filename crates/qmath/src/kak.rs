@@ -298,10 +298,25 @@ impl Canon<'_> {
     }
 }
 
+/// Tolerance of the `x = π/4` face snap in [`kak_decompose`]'s
+/// canonicalization: coordinates within this distance of the face are
+/// pinned to *bitwise* `π/4`, perturbing reconstruction by at most the
+/// same amount.
+///
+/// This constant is part of the cache-key stability contract: the
+/// persistent compile store addresses pulse solutions by quantized Weyl
+/// class ([`crate::weyl::WeylCoord::class_key`] at
+/// [`crate::weyl::SU4_CLASS_TOL`]), and the face snap is what keeps the
+/// whole CNOT family in one bucket instead of straddling `π/4 ± ε`.
+/// Changing it silently diverges disk-cache keys from canonicalization —
+/// any change must bump the store format version.
+pub const KAK_FACE_SNAP_TOL: f64 = 1e-8;
+
 /// Moves the coordinates of `kak` into the canonical Weyl chamber while
-/// preserving the reconstructed unitary up to ~1e-8: coordinates within
-/// 1e-8 of the `x = π/4` face are pinned to it, perturbing reconstruction
-/// by at most that much (exact everywhere else).
+/// preserving the reconstructed unitary up to ~[`KAK_FACE_SNAP_TOL`]:
+/// coordinates within that tolerance of the `x = π/4` face are pinned to
+/// it, perturbing reconstruction by at most that much (exact everywhere
+/// else).
 fn canonicalize(kak: &mut Kak) {
     let mut c = Canon { k: kak };
     for _round in 0..4 {
@@ -337,16 +352,16 @@ fn canonicalize(kak: &mut Kak) {
         }
         // 4. Face rule: on x = π/4 require z ≥ 0 (tolerance must be at
         // least as wide as `in_chamber`'s WEYL_EPS).
-        if (c.coord(0) - FRAC_PI_4).abs() < 1e-8 && c.coord(2) < -1e-12 {
+        if (c.coord(0) - FRAC_PI_4).abs() < KAK_FACE_SNAP_TOL && c.coord(2) < -1e-12 {
             // (π/4, y, z<0) → negate (x,z) → (-π/4, y, -z) → shift x up.
             c.negate_other_two(1);
             c.shift(0, 1.0);
-            // x is only known to be on the face within the 1e-8 tolerance
+            // x is only known to be on the face within KAK_FACE_SNAP_TOL
             // above, and the transform maps x = π/4 - δ to π/4 + δ, which
             // `in_chamber` (tolerance WEYL_EPS = 1e-9) rejects — folding it
             // back just oscillates. The gate is numerically *on* the face,
-            // so pin the coordinate there (perturbs reconstruction by ≤ 1e-8,
-            // far inside every consumer's tolerance).
+            // so pin the coordinate there (perturbs reconstruction by at
+            // most the snap tolerance, far inside every consumer's own).
             *c.coord_mut(0) = FRAC_PI_4;
         }
         if c.k.coords.in_chamber() {

@@ -23,6 +23,7 @@
 //! assert!(k.reconstruct().approx_eq(&gates::cnot(), 1e-9));
 //! ```
 
+pub mod bytes;
 pub mod c64;
 pub mod eig;
 pub mod expm;
@@ -35,12 +36,15 @@ pub mod mat;
 pub mod svd;
 pub mod weyl;
 
+pub use bytes::{ByteReader, ByteWriter, CodecError};
 pub use c64::C64;
 pub use eig::{eig_hermitian, eig_real_symmetric, HermEig, RealEig};
 pub use expm::{expm, expm_i_hermitian};
 pub use fingerprint::Fnv128;
 pub use haar::{haar_su2, haar_su4, haar_unitary};
-pub use kak::{kak_decompose, kak_parts, locally_equivalent, weyl_coords, Kak, KakError};
+pub use kak::{
+    kak_decompose, kak_parts, locally_equivalent, weyl_coords, Kak, KakError, KAK_FACE_SNAP_TOL,
+};
 pub use magic::{from_magic, kron_factor, magic_basis, to_magic};
 pub use mat::CMat;
 pub use svd::{polar_unitary, svd, Svd};

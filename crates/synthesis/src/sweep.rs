@@ -52,6 +52,52 @@ impl BlockCircuit {
         let dim = 1usize << self.num_qubits;
         (1.0 - target.hs_inner(&self.unitary()).abs() / dim as f64).max(0.0)
     }
+
+    /// Encodes the block circuit for the persistent compile store
+    /// (deterministic, bit-exact — see `reqisc_qmath::bytes`).
+    pub fn encode_into(&self, w: &mut reqisc_qmath::ByteWriter) {
+        w.put_usize(self.num_qubits);
+        w.put_usize(self.blocks.len());
+        for ((a, b), m) in &self.blocks {
+            w.put_usize(*a);
+            w.put_usize(*b);
+            reqisc_qmath::bytes::write_cmat(w, m);
+        }
+    }
+
+    /// Decodes a block circuit, validating pair indices against the
+    /// declared width.
+    ///
+    /// # Errors
+    ///
+    /// [`reqisc_qmath::CodecError`] on truncation or out-of-range qubits.
+    pub fn decode_from(
+        r: &mut reqisc_qmath::ByteReader<'_>,
+    ) -> Result<Self, reqisc_qmath::CodecError> {
+        let num_qubits = r.get_usize()?;
+        if num_qubits > 64 {
+            return Err(reqisc_qmath::CodecError::new(format!(
+                "implausible block-circuit width {num_qubits}"
+            )));
+        }
+        let n = r.get_count(16)?;
+        let mut blocks = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = r.get_usize()?;
+            let b = r.get_usize()?;
+            if a >= num_qubits || b >= num_qubits || a == b {
+                return Err(reqisc_qmath::CodecError::new(format!(
+                    "block pair ({a}, {b}) invalid for width {num_qubits}"
+                )));
+            }
+            let m = reqisc_qmath::bytes::read_cmat(r)?;
+            if m.rows() != 4 || m.cols() != 4 {
+                return Err(reqisc_qmath::CodecError::new("SU(4) block must be 4x4"));
+            }
+            blocks.push(((a, b), m));
+        }
+        Ok(Self { num_qubits, blocks })
+    }
 }
 
 /// Result of one instantiation attempt.
@@ -289,5 +335,37 @@ mod tests {
         let target = embed(&g, &[2, 0], 3);
         let r = instantiate(&target, &[(2, 0)], 3, &SweepOptions::default());
         assert!(r.infidelity < 1e-11);
+    }
+
+    #[test]
+    fn block_circuit_codec_roundtrips_bitwise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let bc = BlockCircuit {
+            num_qubits: 3,
+            blocks: vec![
+                ((0, 1), haar_unitary(4, &mut rng)),
+                ((2, 1), haar_unitary(4, &mut rng)),
+            ],
+        };
+        let mut w = reqisc_qmath::ByteWriter::new();
+        bc.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = reqisc_qmath::ByteReader::new(&bytes);
+        let back = BlockCircuit::decode_from(&mut r).expect("roundtrip");
+        assert!(r.is_exhausted());
+        assert_eq!(back.num_qubits, 3);
+        assert_eq!(back.blocks.len(), 2);
+        for (orig, dec) in bc.blocks.iter().zip(&back.blocks) {
+            assert_eq!(orig.0, dec.0);
+            assert_eq!(orig.1.fingerprint(), dec.1.fingerprint(), "blocks must be bit-exact");
+        }
+        // Truncations fail cleanly.
+        for cut in 0..bytes.len() {
+            assert!(
+                BlockCircuit::decode_from(&mut reqisc_qmath::ByteReader::new(&bytes[..cut]))
+                    .is_err(),
+                "cut {cut}"
+            );
+        }
     }
 }

@@ -28,7 +28,10 @@ fn main() {
                 p.name(),
                 m.count_2q,
                 m.duration,
-                distinct_su4_count(&out, 1e-7)
+                // Default SU4_CLASS_TOL grouping — this example used to
+                // group at 1e-7, which counted synthesis jitter (~1e-6
+                // coordinate noise) as distinct instructions.
+                distinct_su4_count(&out)
             );
         }
         println!();

@@ -84,6 +84,34 @@ fn ea_sliver_roots_stay_found_under_xx() {
     }
 }
 
+/// PR-3 regression: `solve_ea` used to refine only the 16 globally
+/// best-residual seeds, which starved the β = O(10⁻³) / 1 − α = O(10⁻³)
+/// sliver rows whenever enough coarse-grid seeds ranked ahead —
+/// frontier-marginal targets then converged only when the landscape
+/// happened to rank a sliver seed into the top 16. The edge-family quota
+/// guarantees the sliver rows refinement slots, so the *deep*-marginal
+/// family (τ₋ − τ₀ = y + z down to 10⁻⁵, an order tighter than the PR-1
+/// pins above) must now converge deterministically, and to the sliver
+/// root itself.
+#[test]
+fn ea_seed_quota_keeps_deep_sliver_roots() {
+    let cp = Coupling::xx(1.0);
+    for eps in [1e-5, 3e-5, 5e-5, 7e-4] {
+        let w = WeylCoord::new(0.7, eps, 0.0);
+        let tau = optimal_duration(&w, &cp).tau;
+        let sols = solve_ea(&cp, EaSign::Minus, &w, tau, 1e-8);
+        assert!(!sols.is_empty(), "deep sliver root lost at y = {eps}");
+        let best = &sols[0];
+        assert!(best.residual < 1e-8, "residual {} at y = {eps}", best.residual);
+        assert!(
+            1.0 - best.alpha < 1e-2 && best.beta < 0.1,
+            "best root left the sliver at y = {eps}: alpha = {}, beta = {}",
+            best.alpha,
+            best.beta
+        );
+    }
+}
+
 #[test]
 fn frontier_marginal_targets_solve_under_representative_couplings() {
     // The compiler-facing entry point must keep succeeding on marginal

@@ -1,0 +1,253 @@
+//! Round-trip and corruption-tolerance tests for the persistent
+//! [`CacheStore`]: save/load must be bit-faithful (identical re-saved
+//! bytes, unitarily-equivalent warm compiles), every flavour of bad file
+//! must degrade to a *counted* cold start, and concurrent saves into one
+//! shared directory must never produce a torn file.
+
+use proptest::prelude::*;
+use reqisc::benchsuite::generators;
+use reqisc::compiler::{CacheStore, Compiler, LoadOutcome, Pipeline};
+use reqisc::microarch::Coupling;
+use reqisc::qmath::WeylCoord;
+use reqisc::qsim::{circuit_unitary, process_infidelity};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fresh, empty scratch directory unique to this process and call.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "reqisc-store-test-{}-{}-{}",
+        std::process::id(),
+        tag,
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A compiler with the reduced-but-exact search budget the other
+/// integration suites use. The tests need many *fresh caches*, not many
+/// template libraries, so the (expensive, immutable) library is
+/// pre-synthesized once and cloned in.
+fn small_compiler() -> Compiler {
+    use std::sync::OnceLock;
+    static LIB: OnceLock<reqisc::synthesis::TemplateLibrary> = OnceLock::new();
+    let mut c = Compiler::new_with_library(
+        LIB.get_or_init(|| {
+            let mut search = reqisc::synthesis::SearchOptions::default();
+            search.sweep.restarts = 3;
+            reqisc::synthesis::TemplateLibrary::builtin(&search)
+        })
+        .clone(),
+    );
+    c.hs.search.sweep.restarts = 2;
+    c.hs.search.sweep.max_sweeps = 150;
+    c
+}
+
+fn toffoli_chain() -> reqisc::qcircuit::Circuit {
+    use reqisc::qcircuit::{Circuit, Gate};
+    let mut c = Circuit::new(4);
+    c.push(Gate::Ccx(0, 1, 2));
+    c.push(Gate::Cx(2, 3));
+    c.push(Gate::Ccx(1, 2, 3));
+    c.push(Gate::H(0));
+    c.push(Gate::Ccx(0, 1, 3));
+    c
+}
+
+#[test]
+fn save_load_roundtrip_bit_identical_pools_and_warm_compiles() {
+    let dir = scratch_dir("roundtrip");
+    let cold = small_compiler();
+    let program = toffoli_chain();
+    let out_full = cold.compile(&program, Pipeline::ReqiscFull);
+    let out_eff = cold.compile(&program, Pipeline::ReqiscEff);
+    // Populate the pulse pool too (compile pipelines don't touch it).
+    cold.cache().pulses().solve(&Coupling::xy(1.0), &WeylCoord::cnot()).expect("solve");
+    let store = CacheStore::new(&dir);
+    let missing = store.load_into(cold.cache());
+    assert_eq!(missing, LoadOutcome::Missing, "no file yet: clean cold start");
+    let n = store.save(cold.cache()).expect("save");
+    assert!(n >= 3, "programs + synthesis + pulse entries, got {n}");
+    assert_eq!(store.stats().saved_entries, n as u64);
+
+    // Load into a fresh compiler with identical options.
+    let warm = small_compiler();
+    let warm_store = CacheStore::new(&dir);
+    let outcome = warm_store.load_into(warm.cache());
+    match outcome {
+        LoadOutcome::Loaded { programs, synthesis, pulses } => {
+            assert!(programs >= 2, "both compiled pipelines persisted");
+            assert!(synthesis >= 1, "dense-block results persisted");
+            assert_eq!(pulses, 1);
+            assert_eq!(programs + synthesis + pulses, n);
+        }
+        other => panic!("expected Loaded, got {other:?}"),
+    }
+    assert_eq!(warm_store.stats().loaded_entries, n as u64);
+
+    // Bit-identical pool keys and values: re-saving the loaded cache to a
+    // different directory must reproduce the file byte-for-byte (saves
+    // are sorted, so equal content ⇒ equal bytes).
+    let dir2 = scratch_dir("resave");
+    let store2 = CacheStore::new(&dir2);
+    assert_eq!(store2.save(warm.cache()).expect("resave"), n);
+    let a = std::fs::read(store.path()).expect("read original");
+    let b = std::fs::read(store2.path()).expect("read resave");
+    assert_eq!(a, b, "round-trip must preserve every pool bit-for-bit");
+
+    // Disk-warm compiles are pure program-pool hits, bit-identical to the
+    // cold results and unitarily equivalent to the source.
+    let warm_full = warm.compile(&program, Pipeline::ReqiscFull);
+    let warm_eff = warm.compile(&program, Pipeline::ReqiscEff);
+    assert_eq!(warm_full, out_full);
+    assert_eq!(warm_eff, out_eff);
+    let s = warm.cache_stats().programs;
+    assert_eq!((s.hits, s.misses), (2, 0), "disk-warm compiles must be pure hits: {s}");
+    let inf = process_infidelity(&circuit_unitary(&warm_full), &circuit_unitary(&program.lowered_to_cx()));
+    assert!(inf < 1e-6, "warm result not equivalent to source: {inf}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+#[test]
+fn corrupt_stale_and_truncated_files_cold_start_with_counted_rejections() {
+    let dir = scratch_dir("corrupt");
+    let comp = small_compiler();
+    comp.compile(&toffoli_chain(), Pipeline::ReqiscEff);
+    let store = CacheStore::new(&dir);
+    store.save(comp.cache()).expect("save");
+    let good = std::fs::read(store.path()).expect("read");
+
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("empty file", Vec::new()),
+        ("short garbage", b"not a store".to_vec()),
+        ("truncated header", good[..16].to_vec()),
+        ("truncated payload", good[..good.len() - 7].to_vec()),
+        ("bad magic", {
+            let mut b = good.clone();
+            b[0] ^= 0xff;
+            b
+        }),
+        ("wrong version", {
+            let mut b = good.clone();
+            b[4] = b[4].wrapping_add(1);
+            b
+        }),
+        ("flipped payload byte", {
+            let mut b = good.clone();
+            let mid = 32 + (b.len() - 32) / 2;
+            b[mid] ^= 0x01;
+            b
+        }),
+        ("trailing garbage", {
+            let mut b = good.clone();
+            b.extend_from_slice(b"xx");
+            b
+        }),
+    ];
+    for (i, (name, bytes)) in cases.iter().enumerate() {
+        std::fs::write(store.path(), bytes).expect("write corrupt file");
+        let fresh = small_compiler();
+        let outcome = store.load_into(fresh.cache());
+        assert!(
+            matches!(outcome, LoadOutcome::Rejected { .. }),
+            "{name}: expected rejection, got {outcome:?}"
+        );
+        assert!(fresh.cache().is_empty(), "{name}: partial seed after rejection");
+        assert_eq!(store.stats().rejected, i as u64 + 1, "{name}: rejection not counted");
+    }
+
+    // Restore the good bytes: loads work again (the file itself, not the
+    // store handle, was the problem).
+    std::fs::write(store.path(), &good).expect("restore");
+    let fresh = small_compiler();
+    assert!(matches!(store.load_into(fresh.cache()), LoadOutcome::Loaded { .. }));
+    // A rejected file is also *overwritten* by the next save, not merged.
+    std::fs::write(store.path(), b"garbage again").expect("corrupt");
+    store.save(comp.cache()).expect("save over corrupt file");
+    let fresh2 = small_compiler();
+    assert!(matches!(store.load_into(fresh2.cache()), LoadOutcome::Loaded { .. }));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_saves_into_shared_dir_never_tear() {
+    let dir = scratch_dir("race");
+    // Two "processes" (two threads with independent caches and store
+    // handles — the store has no shared in-process state worth testing)
+    // hammer the same directory with interleaved saves and loads.
+    let programs: Vec<_> = (0..4).map(|s| generators::reversible_network(3, 6, s)).collect();
+    std::thread::scope(|scope| {
+        for t in 0..2 {
+            let dir = dir.clone();
+            let programs = &programs;
+            scope.spawn(move || {
+                let comp = small_compiler();
+                comp.compile(&programs[t], Pipeline::ReqiscEff);
+                comp.compile(&programs[t + 2], Pipeline::Qiskit);
+                let store = CacheStore::new(&dir);
+                for _ in 0..6 {
+                    store.save(comp.cache()).expect("racing save");
+                    // Interleaved loads must always see a complete file
+                    // (or none): atomic rename means never a torn one.
+                    let probe = small_compiler();
+                    match store.load_into(probe.cache()) {
+                        LoadOutcome::Loaded { .. } | LoadOutcome::Missing => {}
+                        LoadOutcome::Rejected { reason } => {
+                            panic!("racing reader saw a torn store: {reason}")
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // The final file is valid and, because saves merge the on-disk union,
+    // contains *both* writers' programs unless the very last two saves
+    // raced each other — guaranteed at least one writer's worth.
+    let store = CacheStore::new(&dir);
+    let final_cache = small_compiler();
+    match store.load_into(final_cache.cache()) {
+        LoadOutcome::Loaded { programs, .. } => {
+            assert!(programs >= 2, "lost both writers' pools: {programs}")
+        }
+        other => panic!("final shared store unusable: {other:?}"),
+    }
+    // No stray temp files left behind.
+    let strays: Vec<_> = std::fs::read_dir(&dir)
+        .expect("dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+        .collect();
+    assert!(strays.is_empty(), "leftover temp files: {strays:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Property round-trip: for random programs and SU(4)-emitting
+    /// pipelines, a disk-warm compile in a fresh process-alike compiler
+    /// is bit-identical to the cold result that was saved.
+    #[test]
+    fn disk_warm_compile_equals_cold_compile(seed in 0u64..1_000_000, pick in 0usize..3, n in 3usize..5, gates in 4usize..8) {
+        let dir = scratch_dir("prop");
+        let p = [Pipeline::ReqiscEff, Pipeline::ReqiscFull, Pipeline::BqskitSu4][pick];
+        let c = generators::reversible_network(n, gates, seed);
+        let cold = small_compiler();
+        let cold_out = cold.compile(&c, p);
+        let store = CacheStore::new(&dir);
+        store.save(cold.cache()).expect("save");
+        let warm = small_compiler();
+        prop_assert!(matches!(CacheStore::new(&dir).load_into(warm.cache()), LoadOutcome::Loaded { .. }));
+        let warm_out = warm.compile(&c, p);
+        prop_assert_eq!(&warm_out, &cold_out, "disk-warm diverged from cold (pipeline {})", p.name());
+        let s = warm.cache_stats().programs;
+        prop_assert_eq!((s.hits, s.misses), (1, 0), "not a pure program-pool hit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
