@@ -26,30 +26,19 @@
 //!   against one `REQISC_CACHE_DIR` with both assertions on the second
 //!   run, so a persistence regression fails loudly).
 
+use reqisc_bench::{env_cache_dir, env_f64, env_flag, env_usize};
 use reqisc_benchsuite::{scale_from_env, suite, Benchmark};
 use reqisc_compiler::{CacheStore, Compiler, LoadOutcome, Pipeline};
 use reqisc_qcircuit::Circuit;
 use std::time::Instant;
 
-fn env_f64(name: &str) -> Option<f64> {
-    std::env::var(name).ok().and_then(|v| v.parse().ok())
-}
-
 fn main() {
-    let cap: usize = std::env::var("REQISC_BENCH_N")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(usize::MAX);
-    let threads: usize = std::env::var("REQISC_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
-    let skip_serial = std::env::var("REQISC_SKIP_SERIAL")
-        .map(|v| !v.is_empty() && v != "0")
-        .unwrap_or(false);
+    let cap = env_usize("REQISC_BENCH_N", usize::MAX);
+    let threads = env_usize("REQISC_THREADS", 0);
+    let skip_serial = env_flag("REQISC_SKIP_SERIAL");
     let require_disk_warm_x = env_f64("REQISC_REQUIRE_DISK_WARM_X");
     let require_hit_pct = env_f64("REQISC_REQUIRE_PROGRAM_HIT_PCT");
-    let shared_dir = std::env::var_os("REQISC_CACHE_DIR").map(std::path::PathBuf::from);
+    let shared_dir = env_cache_dir();
     let programs: Vec<Benchmark> = suite(scale_from_env())
         .into_iter()
         .filter(|b| b.circuit.lowered_to_cx().count_2q() <= 5000)

@@ -1,0 +1,150 @@
+//! Measures the compile *service* end to end: per-request latency
+//! (submit → response) and throughput through the full queue → coalesce
+//! → worker → cache path, cold versus warm.
+//!
+//! Three passes over `programs × {ReqiscEff, ReqiscFull}`:
+//!
+//! * **cold** — fresh service, every request pays its compile (or joins
+//!   an in-flight duplicate);
+//! * **warm serial** — the same requests again, one at a time: the
+//!   interactive-caller view of a resident warm cache (p50/p99 are the
+//!   protocol + lookup overhead, microseconds not seconds);
+//! * **warm pipelined** — all requests submitted before any is awaited:
+//!   the throughput ceiling (req/s).
+//!
+//! Environment knobs (shared semantics — see `reqisc_bench::env`):
+//!
+//! * `REQISC_SCALE=paper` — Table-1-sized programs;
+//! * `REQISC_BENCH_N=<k>` — cap the program count (default 24);
+//! * `REQISC_SERVE_WORKERS=<n>` — worker pool size (default hardware);
+//! * `REQISC_CACHE_DIR=<dir>` — persist/load the store in `<dir>` (the
+//!   service loads it at startup, so a second run starts disk-warm).
+//!
+//! Note the single-core container caveat (ROADMAP): wall-clocks here are
+//! indicative; the counters (hits, coalesced) are the portable signal.
+
+use reqisc_bench::{env_cache_dir, env_usize};
+use reqisc_benchsuite::{scale_from_env, suite, Benchmark};
+use reqisc_compiler::Pipeline;
+use reqisc_qcircuit::Circuit;
+use reqisc_service::{Service, ServiceConfig, Ticket};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p / 100.0).round() as usize;
+    sorted_ms[idx]
+}
+
+fn row(pass: &str, latencies_ms: &mut [f64], total_s: f64) {
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "{pass},{},{:.3},{:.1},{:.3},{:.3}",
+        latencies_ms.len(),
+        total_s,
+        latencies_ms.len() as f64 / total_s.max(1e-9),
+        percentile(latencies_ms, 50.0),
+        percentile(latencies_ms, 99.0),
+    );
+}
+
+fn main() {
+    let cap = env_usize("REQISC_BENCH_N", 24);
+    let workers = env_usize("REQISC_SERVE_WORKERS", 0);
+    let programs: Vec<Benchmark> = suite(scale_from_env())
+        .into_iter()
+        .filter(|b| b.circuit.lowered_to_cx().count_2q() <= 5000)
+        .take(cap)
+        .collect();
+    let pipelines = [Pipeline::ReqiscEff, Pipeline::ReqiscFull];
+    let jobs: Vec<(Arc<Circuit>, Pipeline)> = programs
+        .iter()
+        .flat_map(|b| {
+            let c = Arc::new(b.circuit.clone());
+            pipelines.iter().map(move |&p| (c.clone(), p))
+        })
+        .collect();
+    eprintln!("{} programs × {} pipelines = {} requests", programs.len(), pipelines.len(), jobs.len());
+
+    let service = Service::start(ServiceConfig {
+        workers,
+        cache_dir: env_cache_dir(),
+        // Pass 3 submits the whole batch before awaiting anything; the
+        // queue must admit it all or the bench would measure rejections.
+        queue_capacity: jobs.len().max(256),
+        ..ServiceConfig::default()
+    });
+    if let Some(outcome) = service.startup_load() {
+        eprintln!("# store load: {outcome:?}");
+    }
+
+    println!("pass,requests,total_s,req_per_s,p50_ms,p99_ms");
+
+    // Pass 1: cold, serial (per-request latency as an interactive caller
+    // sees it the first time).
+    let mut lat = Vec::with_capacity(jobs.len());
+    let t0 = Instant::now();
+    let mut fingerprints = Vec::with_capacity(jobs.len());
+    for (c, p) in &jobs {
+        let t = Instant::now();
+        let done = service
+            .submit_compile(c.clone(), *p, reqisc_service::DEFAULT_PRIORITY)
+            .expect("submit")
+            .wait()
+            .expect("compile");
+        lat.push(t.elapsed().as_secs_f64() * 1e3);
+        fingerprints.push(done.circuit.expect("circuit").content_hash());
+    }
+    row("cold", &mut lat, t0.elapsed().as_secs_f64());
+
+    // Pass 2: warm, serial.
+    let mut lat = Vec::with_capacity(jobs.len());
+    let t0 = Instant::now();
+    for (i, (c, p)) in jobs.iter().enumerate() {
+        let t = Instant::now();
+        let done = service
+            .submit_compile(c.clone(), *p, reqisc_service::DEFAULT_PRIORITY)
+            .expect("submit")
+            .wait()
+            .expect("compile");
+        lat.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            done.circuit.expect("circuit").content_hash(),
+            fingerprints[i],
+            "warm result diverged from cold"
+        );
+    }
+    row("warm_serial", &mut lat, t0.elapsed().as_secs_f64());
+
+    // Pass 3: warm, fully pipelined (throughput ceiling; duplicates of
+    // in-flight work coalesce).
+    let t0 = Instant::now();
+    let tickets: Vec<(usize, Ticket)> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, (c, p))| {
+            (i, service.submit_compile(c.clone(), *p, reqisc_service::DEFAULT_PRIORITY).expect("submit"))
+        })
+        .collect();
+    let mut lat = Vec::with_capacity(jobs.len());
+    for (i, t) in tickets {
+        let done = t.wait().expect("compile");
+        assert_eq!(done.circuit.expect("circuit").content_hash(), fingerprints[i]);
+        lat.push(0.0); // per-request latency is not meaningful pipelined
+    }
+    row("warm_pipelined", &mut lat, t0.elapsed().as_secs_f64());
+
+    let s = service.stats_snapshot();
+    println!("# service: submitted {} completed {} coalesced {} rejected {}",
+        s.service.submitted, s.service.completed, s.service.coalesced,
+        s.service.rejected_queue_full);
+    println!("# programs pool: {}", s.cache.programs);
+    println!("# synthesis pool: {}", s.cache.synthesis);
+    if let Some(st) = s.store {
+        println!("# store: {st}");
+    }
+    service.shutdown();
+}

@@ -15,6 +15,37 @@ use reqisc_microarch::Coupling;
 use reqisc_qcircuit::Circuit;
 use std::collections::BTreeMap;
 
+/// The `REQISC_*` environment knobs shared by every bench binary —
+/// *one* parse each, so `cachebench`, the figure/table binaries, and the
+/// service bins can never drift on semantics. The cache-dir variable
+/// itself is owned by `reqisc_service` (the daemon honours it too);
+/// [`env_cache_dir`] delegates there.
+pub mod env {
+    /// Reads `REQISC_CACHE_DIR` with the service's exact semantics
+    /// (unset or empty = no persistent store).
+    pub fn env_cache_dir() -> Option<std::path::PathBuf> {
+        reqisc_service::cache_dir_from_env()
+    }
+
+    /// Reads an integer env knob; `default` when unset/unparseable.
+    pub fn env_usize(name: &str, default: usize) -> usize {
+        std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Reads a float env knob (`None` when unset/unparseable) — the
+    /// shape of the `REQISC_REQUIRE_*` assertion thresholds.
+    pub fn env_f64(name: &str) -> Option<f64> {
+        std::env::var(name).ok().and_then(|v| v.parse().ok())
+    }
+
+    /// Reads a boolean env flag: set and neither empty nor `"0"`.
+    pub fn env_flag(name: &str) -> bool {
+        std::env::var(name).map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+    }
+}
+
+pub use env::{env_cache_dir, env_f64, env_flag, env_usize};
+
 /// Opens the persistent compile store named by `REQISC_CACHE_DIR` (if
 /// set) and warm-starts `compiler` from it. Every bench binary calls this
 /// right after building its compiler: with the env var set, a rerun —
@@ -23,8 +54,7 @@ use std::collections::BTreeMap;
 /// binary can [`env_cache_save`] its own results back at exit; `None`
 /// when the env var is unset (purely in-memory run, the default).
 pub fn env_cache_store(compiler: &Compiler) -> Option<CacheStore> {
-    let dir = std::env::var_os("REQISC_CACHE_DIR")?;
-    let store = CacheStore::new(std::path::PathBuf::from(dir));
+    let store = CacheStore::new(env_cache_dir()?);
     match store.load_into(compiler.cache()) {
         LoadOutcome::Missing => eprintln!("# cache store: {} (empty, cold start)", store.path().display()),
         LoadOutcome::Loaded { programs, synthesis, pulses } => eprintln!(

@@ -102,6 +102,25 @@ impl CompileCache {
         Self::default()
     }
 
+    /// An empty cache with an explicit shard count and per-shard entry
+    /// capacity applied to all three pools — the LRU-eviction knob. The
+    /// default shape ([`CompileCache::new`]) is deliberately generous
+    /// (16 × 1024 entries per pool, effectively unbounded for the demo
+    /// suite); a bounded shape evicts least-recently-used entries once a
+    /// shard fills, with [`reqisc_microarch::cache::CacheStats::evictions`]
+    /// counting every displacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `shard_capacity` is zero.
+    pub fn with_shape(shards: usize, shard_capacity: usize) -> Self {
+        Self {
+            programs: ShardedMap::with_shape(shards, shard_capacity),
+            synthesis: ShardedMap::with_shape(shards, shard_capacity),
+            pulses: PulseCache::with_shape(shards, shard_capacity),
+        }
+    }
+
     /// Looks up a memoized whole-program compilation.
     pub(crate) fn get_program(&self, key: &ProgramKey) -> Option<Arc<Circuit>> {
         self.programs.get(key)
@@ -147,18 +166,31 @@ impl CompileCache {
         &self.pulses
     }
 
-    /// Exports the whole-program pool for a persistent-store save.
-    pub(crate) fn export_programs(&self) -> Vec<(ProgramKey, Arc<Circuit>)> {
+    /// Exports the whole-program pool for a persistent-store save; the
+    /// trailing flag is `true` for entries a live lookup or insert touched
+    /// (`false` = bulk-seeded and never served — GC-aging candidates).
+    pub(crate) fn export_programs(&self) -> Vec<(ProgramKey, Arc<Circuit>, bool)> {
         let mut out = Vec::new();
-        self.programs.for_each(|k, v| out.push((*k, v.clone())));
+        self.programs.for_each_with_used(|k, v, used| out.push((*k, v.clone(), used)));
         out
     }
 
-    /// Exports the block-synthesis pool for a persistent-store save.
-    pub(crate) fn export_synthesis(&self) -> Vec<(SynthKey, Arc<Option<BlockCircuit>>)> {
+    /// Exports the block-synthesis pool for a persistent-store save (same
+    /// used-flag contract as [`CompileCache::export_programs`]).
+    pub(crate) fn export_synthesis(&self) -> Vec<(SynthKey, Arc<Option<BlockCircuit>>, bool)> {
         let mut out = Vec::new();
-        self.synthesis.for_each(|k, v| out.push((*k, v.clone())));
+        self.synthesis.for_each_with_used(|k, v, used| out.push((*k, v.clone(), used)));
         out
+    }
+
+    /// Removes one whole-program entry (the store GC's in-memory purge).
+    pub(crate) fn remove_program(&self, key: &ProgramKey) -> bool {
+        self.programs.remove(key)
+    }
+
+    /// Removes one block-synthesis entry (the store GC's in-memory purge).
+    pub(crate) fn remove_synthesis(&self, key: &SynthKey) -> bool {
+        self.synthesis.remove(key)
     }
 
     /// Seeds one whole-program entry (counter-free warm start — see

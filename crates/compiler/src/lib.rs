@@ -47,7 +47,7 @@ pub use hierarchical::{
 };
 pub use pauli_frontend::{compile_pauli_program, emit_pauli_rotation, Axis, PauliRotation};
 pub use partition::{compactness, partition_3q, reassemble, Block, PartitionOptions};
-pub use store::{CacheStore, LoadOutcome, StoreStats, STORE_FORMAT_VERSION};
+pub use store::{CacheStore, CompactOutcome, LoadOutcome, StoreStats, STORE_FORMAT_VERSION};
 pub use pipelines::{
     distinct_su4_count, distinct_su4_count_with_tol, gate_duration, metrics, Compiler, Metrics,
     Pipeline,

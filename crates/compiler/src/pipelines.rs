@@ -69,6 +69,14 @@ impl Pipeline {
         !matches!(self, Pipeline::Qiskit | Pipeline::Tket)
     }
 
+    /// Inverse of [`Pipeline::name`]: resolves the short display name back
+    /// to the variant (`None` for unknown names). The service protocol's
+    /// pipeline field parses through this, so wire names and display
+    /// names can never drift apart.
+    pub fn from_name(name: &str) -> Option<Pipeline> {
+        Pipeline::ALL.iter().copied().find(|p| p.name() == name)
+    }
+
     /// Stable on-disk tag for the persistent store's program keys.
     /// Append-only: new variants take fresh numbers, existing values are
     /// frozen (a renumber must bump the store format version).
@@ -119,9 +127,17 @@ impl Compiler {
     /// Builds a compiler with default options (pre-synthesizes the
     /// built-in template library — a one-time cost).
     pub fn new() -> Self {
+        Self::new_with_library(Self::builtin_library())
+    }
+
+    /// Synthesizes the built-in template library at the default search
+    /// budget — the library [`Compiler::new`] uses. Exposed so callers
+    /// composing a compiler by parts ([`Compiler::new_with_library_and_cache`])
+    /// get the identical library without duplicating the budget choice.
+    pub fn builtin_library() -> TemplateLibrary {
         let mut search = SearchOptions::default();
         search.sweep.restarts = 3;
-        Self::new_with_library(TemplateLibrary::builtin(&search))
+        TemplateLibrary::builtin(&search)
     }
 
     /// Builds a compiler around an existing template library — the cheap
@@ -129,17 +145,29 @@ impl Compiler {
     /// caches* (store tests, multi-tenant fronts) without re-synthesizing
     /// the library each time.
     pub fn new_with_library(library: TemplateLibrary) -> Self {
-        Self {
-            library,
-            hs: HsOptions::default(),
-            block_threads: 0,
-            cache: CompileCache::new(),
-        }
+        Self::new_with_library_and_cache(library, CompileCache::new())
+    }
+
+    /// Builds a compiler around an existing template library *and* an
+    /// explicit cache — the constructor for callers that bound the memo
+    /// pools (see [`CompileCache::with_shape`]) or pre-warm a cache before
+    /// handing it to the compiler.
+    pub fn new_with_library_and_cache(library: TemplateLibrary, cache: CompileCache) -> Self {
+        Self { library, hs: HsOptions::default(), block_threads: 0, cache }
     }
 
     /// The shared compilation cache.
     pub fn cache(&self) -> &CompileCache {
         &self.cache
+    }
+
+    /// Fingerprint of the current [`Compiler::hs`] options — the third
+    /// component of every whole-program cache key. The service layer's
+    /// in-flight coalescing keys on `(circuit content hash, pipeline,
+    /// this)` so two requests coalesce exactly when a cache hit would
+    /// serve one from the other.
+    pub fn options_fingerprint(&self) -> u128 {
+        hs_options_fingerprint(&self.hs)
     }
 
     /// Snapshot of the cache counters (hits / misses / inserts /
@@ -500,6 +528,40 @@ mod tests {
         assert_eq!(comp.compile_batch(&jobs[..2], 0), &batch[..2]);
         assert_eq!(comp.compile_batch(&jobs[..2], 1), &batch[..2]);
         assert_eq!(comp.compile_batch(&[], 3), Vec::<Circuit>::new());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_with_exact_accounting() {
+        // A deliberately tiny pool: 1 shard × 2 entries per pool. The
+        // library is cloned from the shared compiler (synthesis cost paid
+        // once); pipelines are CNOT-level so the test is pure cache churn.
+        let comp = Compiler::new_with_library_and_cache(
+            compiler().library.clone(),
+            crate::cache::CompileCache::with_shape(1, 2),
+        );
+        let mk = |n: usize| {
+            let mut c = Circuit::new(3);
+            c.push(Gate::Ccx(0, 1, 2));
+            for _ in 0..n {
+                c.push(Gate::H(0));
+            }
+            c
+        };
+        let (a, b, c) = (mk(1), mk(2), mk(3));
+        let out_a = comp.compile(&a, Pipeline::Qiskit); // miss, insert
+        assert_eq!(comp.compile(&a, Pipeline::Qiskit), out_a); // hit
+        comp.compile(&b, Pipeline::Qiskit); // miss, insert (full now)
+        comp.compile(&c, Pipeline::Qiskit); // miss, insert, evicts LRU = a
+        // The evicted program recomputes — an honest miss — and the
+        // result is bit-identical to the first compile.
+        assert_eq!(comp.compile(&a, Pipeline::Qiskit), out_a);
+        let s = comp.cache_stats().programs;
+        assert_eq!(
+            (s.hits, s.misses, s.inserts, s.evictions),
+            (1, 4, 4, 2),
+            "accounting must stay exact under eviction: {s}"
+        );
+        assert!(s.is_consistent());
     }
 
     #[test]

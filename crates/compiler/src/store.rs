@@ -16,11 +16,26 @@
 //! 32      …     payload
 //! ```
 //!
-//! The payload is three length-prefixed sections in fixed order —
-//! whole-program entries, block-synthesis entries, pulse-class entries —
-//! each entry a content-addressed key (the same 128-bit FNV fingerprints
-//! the in-memory pools use) followed by its codec-encoded value (see
+//! The payload opens with the file's **generation** (a u64 that every
+//! save increments), followed by three length-prefixed sections in fixed
+//! order — whole-program entries, block-synthesis entries, pulse-class
+//! entries — each entry a content-addressed key (the same 128-bit FNV
+//! fingerprints the in-memory pools use), the entry's **last-referenced
+//! generation** stamp, then its codec-encoded value (see
 //! `reqisc_qmath::bytes`).
+//!
+//! ## GC / compaction
+//!
+//! Each save re-stamps the entries the in-memory cache actually
+//! *referenced* (served or computed — not merely bulk-loaded) with the
+//! new generation; everything else keeps its old stamp and silently ages.
+//! [`CacheStore::compact`] is a save that additionally drops entries
+//! whose stamp is more than `max_idle_gens` generations old *and* purges
+//! the same entries from the live cache, so a long-lived shared cache
+//! directory converges to its working set instead of growing without
+//! bound. Compaction never changes any served result: dropped entries are
+//! simply recomputed (bit-identically — pipelines are deterministic) if
+//! a future request needs them.
 //!
 //! ## Invalidation rules
 //!
@@ -67,7 +82,10 @@ pub const STORE_MAGIC: [u8; 4] = *b"RQCS";
 /// On-disk format version. Bump on **any** change to the header, section
 /// layout, value codecs, fingerprint definitions, or canonicalization
 /// tolerances baked into the keys.
-pub const STORE_FORMAT_VERSION: u32 = 1;
+///
+/// History: v1 = PR 3 (no generations); v2 adds the file generation and
+/// per-entry last-referenced stamps that GC/compaction ages on.
+pub const STORE_FORMAT_VERSION: u32 = 2;
 
 /// Store file name inside the store directory.
 pub const STORE_FILE_NAME: &str = "reqisc-cache.bin";
@@ -79,21 +97,37 @@ const HEADER_LEN: usize = 32;
 pub struct StoreStats {
     /// Entries seeded into caches by successful loads.
     pub loaded_entries: u64,
-    /// Entries written by successful saves.
+    /// Entries written by successful saves (compactions included).
     pub saved_entries: u64,
     /// Files rejected (missing counts as cold, not rejected): corruption,
     /// truncation, version/magic mismatch, or unreadable.
     pub rejected: u64,
+    /// [`CacheStore::compact`] passes completed.
+    pub compactions: u64,
+    /// Entries dropped by compaction (aged out of the file and purged
+    /// from the live cache).
+    pub gc_dropped: u64,
 }
 
 impl std::fmt::Display for StoreStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} entries loaded, {} saved, {} files rejected",
-            self.loaded_entries, self.saved_entries, self.rejected
+            "{} entries loaded, {} saved, {} files rejected, {} compactions ({} dropped)",
+            self.loaded_entries, self.saved_entries, self.rejected, self.compactions, self.gc_dropped
         )
     }
+}
+
+/// Result of one [`CacheStore::compact`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactOutcome {
+    /// Entries surviving in the rewritten file.
+    pub kept: usize,
+    /// Entries dropped (from the file and the live cache).
+    pub dropped: usize,
+    /// The rewritten file's generation.
+    pub generation: u64,
 }
 
 /// Result of one [`CacheStore::load_into`] call.
@@ -135,6 +169,8 @@ pub struct CacheStore {
     loaded_entries: AtomicU64,
     saved_entries: AtomicU64,
     rejected: AtomicU64,
+    compactions: AtomicU64,
+    gc_dropped: AtomicU64,
 }
 
 /// Process-global temp-file sequence: two `CacheStore` handles on the
@@ -144,11 +180,13 @@ pub struct CacheStore {
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Decoded payload sections, fully materialized before any seeding so a
-/// late decode error can never leave a cache partially warmed.
+/// late decode error can never leave a cache partially warmed. Each entry
+/// carries its last-referenced generation stamp.
 struct Decoded {
-    programs: Vec<(ProgramKey, Arc<Circuit>)>,
-    synthesis: Vec<(SynthKey, Arc<Option<BlockCircuit>>)>,
-    pulses: Vec<(([i64; 3], WeylClassKey), Arc<reqisc_microarch::SolvedClass>)>,
+    generation: u64,
+    programs: Vec<(ProgramKey, u64, Arc<Circuit>)>,
+    synthesis: Vec<(SynthKey, u64, Arc<Option<BlockCircuit>>)>,
+    pulses: Vec<(([i64; 3], WeylClassKey), u64, Arc<reqisc_microarch::SolvedClass>)>,
 }
 
 impl CacheStore {
@@ -160,6 +198,8 @@ impl CacheStore {
             loaded_entries: AtomicU64::new(0),
             saved_entries: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            gc_dropped: AtomicU64::new(0),
         }
     }
 
@@ -174,6 +214,8 @@ impl CacheStore {
             loaded_entries: self.loaded_entries.load(Ordering::SeqCst),
             saved_entries: self.saved_entries.load(Ordering::SeqCst),
             rejected: self.rejected.load(Ordering::SeqCst),
+            compactions: self.compactions.load(Ordering::SeqCst),
+            gc_dropped: self.gc_dropped.load(Ordering::SeqCst),
         }
     }
 
@@ -186,13 +228,13 @@ impl CacheStore {
             Ok(None) => LoadOutcome::Missing,
             Ok(Some(d)) => {
                 let (np, ns, nu) = (d.programs.len(), d.synthesis.len(), d.pulses.len());
-                for (k, v) in d.programs {
+                for (k, _, v) in d.programs {
                     cache.seed_program(k, v);
                 }
-                for (k, v) in d.synthesis {
+                for (k, _, v) in d.synthesis {
                     cache.seed_synthesis(k, v);
                 }
-                for ((cp, class), v) in d.pulses {
+                for ((cp, class), _, v) in d.pulses {
                     cache.pulses().seed_class(cp, class, v);
                 }
                 self.loaded_entries.fetch_add((np + ns + nu) as u64, Ordering::SeqCst);
@@ -209,49 +251,131 @@ impl CacheStore {
     /// to a temp file and atomically renames it into place. Returns the
     /// number of entries written.
     ///
+    /// Generation stamping: the new file's generation is the old one + 1;
+    /// entries the cache actually *referenced* (served or computed, not
+    /// merely bulk-loaded) are stamped with it, everything else keeps its
+    /// old stamp and ages — the raw material [`CacheStore::compact`]
+    /// collects.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem errors (directory creation, write, rename).
     /// An unreadable/corrupt existing file is *not* an error: it is
     /// silently superseded by the fresh snapshot.
     pub fn save(&self, cache: &CompileCache) -> std::io::Result<usize> {
+        let (n, _) = self.write_merged(cache, None)?;
+        Ok(n)
+    }
+
+    /// A save that also **garbage-collects**: entries whose last-reference
+    /// stamp is more than `max_idle_gens` generations behind the new file
+    /// generation are dropped from the rewritten file *and* purged from
+    /// `cache` (so the next save cannot resurrect them). `max_idle_gens =
+    /// 0` keeps only entries this process referenced; a production
+    /// snapshot timer wants something like 2–8 so entries survive across
+    /// a few idle snapshots before aging out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors, same as [`CacheStore::save`].
+    pub fn compact(
+        &self,
+        cache: &CompileCache,
+        max_idle_gens: u64,
+    ) -> std::io::Result<CompactOutcome> {
+        let (kept, outcome) = self.write_merged(cache, Some(max_idle_gens))?;
+        let outcome = outcome.unwrap_or(CompactOutcome { kept, dropped: 0, generation: 1 });
+        self.compactions.fetch_add(1, Ordering::SeqCst);
+        self.gc_dropped.fetch_add(outcome.dropped as u64, Ordering::SeqCst);
+        Ok(outcome)
+    }
+
+    /// The shared save/compact path: merges disk + memory with generation
+    /// stamping, optionally drops entries idle for more than
+    /// `gc_max_idle_gens` generations (purging them from `cache` too),
+    /// sorts, serializes, and atomically renames into place. Returns the
+    /// entry count written plus the compaction outcome (when GC ran).
+    fn write_merged(
+        &self,
+        cache: &CompileCache,
+        gc_max_idle_gens: Option<u64>,
+    ) -> std::io::Result<(usize, Option<CompactOutcome>)> {
         // Start from what is already on disk (merge, don't clobber), then
         // overlay the in-memory pools — newer results win on key clashes.
-        let mut programs: Vec<(ProgramKey, Arc<Circuit>)> = Vec::new();
-        let mut synthesis: Vec<(SynthKey, Arc<Option<BlockCircuit>>)> = Vec::new();
-        let mut pulses: Vec<(([i64; 3], WeylClassKey), Arc<reqisc_microarch::SolvedClass>)> =
-            Vec::new();
-        if let Ok(Some(d)) = self.read_decoded() {
-            programs = d.programs;
-            synthesis = d.synthesis;
-            pulses = d.pulses;
+        let disk = match self.read_decoded() {
+            Ok(Some(d)) => d,
+            _ => Decoded {
+                generation: 0,
+                programs: Vec::new(),
+                synthesis: Vec::new(),
+                pulses: Vec::new(),
+            },
+        };
+        let new_gen = disk.generation + 1;
+        // Referenced entries take the new stamp; bulk-loaded-but-unused
+        // entries keep the stamp the file already had (aging), and unused
+        // entries with no on-disk stamp (seeded into a cache that is saved
+        // to a *different* directory) count as fresh — a new file starts a
+        // new aging history.
+        let mut programs = stamp_merge(disk.programs, cache.export_programs(), new_gen);
+        let mut synthesis = stamp_merge(disk.synthesis, cache.export_synthesis(), new_gen);
+        let mut pulses = stamp_merge(disk.pulses, cache.pulses().export_classes(), new_gen);
+
+        let mut outcome = None;
+        if let Some(max_idle) = gc_max_idle_gens {
+            let before = programs.len() + synthesis.len() + pulses.len();
+            let live = |stamp: u64| new_gen.saturating_sub(stamp) <= max_idle;
+            programs.retain(|(k, stamp, _)| {
+                let keep = live(*stamp);
+                if !keep {
+                    cache.remove_program(k);
+                }
+                keep
+            });
+            synthesis.retain(|(k, stamp, _)| {
+                let keep = live(*stamp);
+                if !keep {
+                    cache.remove_synthesis(k);
+                }
+                keep
+            });
+            pulses.retain(|((cp, class), stamp, _)| {
+                let keep = live(*stamp);
+                if !keep {
+                    cache.pulses().remove_class(*cp, *class);
+                }
+                keep
+            });
+            let kept = programs.len() + synthesis.len() + pulses.len();
+            outcome = Some(CompactOutcome { kept, dropped: before - kept, generation: new_gen });
         }
-        merge(&mut programs, cache.export_programs());
-        merge(&mut synthesis, cache.export_synthesis());
-        merge(&mut pulses, cache.pulses().export_classes());
+
         // Deterministic entry order: the in-memory pools iterate in hash
         // order, but equal cache *content* must serialize to equal *bytes*
         // (the round-trip tests diff whole files, and stable bytes make
         // repeated saves rsync/dedup-friendly).
-        programs.sort_by_key(|(k, _)| (k.circuit, k.pipeline.store_tag(), k.options));
-        synthesis.sort_by_key(|(k, _)| (k.target, k.num_qubits, k.budget, k.options));
-        pulses.sort_by_key(|((cp, class), _)| (*cp, class.0));
+        programs.sort_by_key(|(k, _, _)| (k.circuit, k.pipeline.store_tag(), k.options));
+        synthesis.sort_by_key(|(k, _, _)| (k.target, k.num_qubits, k.budget, k.options));
+        pulses.sort_by_key(|((cp, class), _, _)| (*cp, class.0));
         let n = programs.len() + synthesis.len() + pulses.len();
 
         let mut payload = ByteWriter::new();
+        payload.put_u64(new_gen);
         payload.put_usize(programs.len());
-        for (k, v) in &programs {
+        for (k, stamp, v) in &programs {
             payload.put_u128(k.circuit);
             payload.put_u8(k.pipeline.store_tag());
             payload.put_u128(k.options);
+            payload.put_u64(*stamp);
             write_circuit(&mut payload, v);
         }
         payload.put_usize(synthesis.len());
-        for (k, v) in &synthesis {
+        for (k, stamp, v) in &synthesis {
             payload.put_u128(k.target);
             payload.put_usize(k.num_qubits);
             payload.put_usize(k.budget);
             payload.put_u128(k.options);
+            payload.put_u64(*stamp);
             match v.as_ref() {
                 Some(bc) => {
                     payload.put_u8(1);
@@ -261,13 +385,14 @@ impl CacheStore {
             }
         }
         payload.put_usize(pulses.len());
-        for ((cp, class), v) in &pulses {
+        for ((cp, class), stamp, v) in &pulses {
             for c in cp {
                 payload.put_i64(*c);
             }
             for c in class.0 {
                 payload.put_i64(c);
             }
+            payload.put_u64(*stamp);
             write_solved_class(&mut payload, v);
         }
         let payload = payload.into_bytes();
@@ -296,7 +421,7 @@ impl CacheStore {
             }
         }
         self.saved_entries.fetch_add(n as u64, Ordering::SeqCst);
-        Ok(n)
+        Ok((n, outcome))
     }
 
     /// Reads and fully decodes the store file. `Ok(None)` = no file;
@@ -311,14 +436,24 @@ impl CacheStore {
     }
 }
 
-/// Appends `fresh` over `base`, dropping base entries whose key reappears
-/// (the in-memory result is at least as new as the on-disk one). Keys are
-/// set-indexed so a save stays linear in total entry count even for
-/// long-lived shared cache directories.
-fn merge<K: Eq + std::hash::Hash + Copy, V>(base: &mut Vec<(K, V)>, fresh: Vec<(K, V)>) {
-    let fresh_keys: std::collections::HashSet<K> = fresh.iter().map(|(k, _)| *k).collect();
-    base.retain(|(k, _)| !fresh_keys.contains(k));
-    base.extend(fresh);
+/// Overlays the in-memory `fresh` exports on the on-disk `base`: a
+/// *referenced* fresh entry (used flag set) is stamped `new_gen`; an
+/// unreferenced one keeps the on-disk stamp if the key is on disk, else
+/// counts as fresh. Disk entries whose key does not reappear survive with
+/// their old stamp. HashMap-indexed so a save stays linear in total entry
+/// count even for long-lived shared cache directories.
+fn stamp_merge<K: Eq + std::hash::Hash + Copy, V>(
+    base: Vec<(K, u64, V)>,
+    fresh: Vec<(K, V, bool)>,
+    new_gen: u64,
+) -> Vec<(K, u64, V)> {
+    let mut merged: std::collections::HashMap<K, (u64, V)> =
+        base.into_iter().map(|(k, stamp, v)| (k, (stamp, v))).collect();
+    for (k, v, used) in fresh {
+        let stamp = if used { new_gen } else { merged.get(&k).map(|(s, _)| *s).unwrap_or(new_gen) };
+        merged.insert(k, (stamp, v));
+    }
+    merged.into_iter().map(|(k, (stamp, v))| (k, stamp, v)).collect()
 }
 
 /// FNV-128 digest of raw bytes (the header checksum).
@@ -361,8 +496,9 @@ fn decode_file(bytes: &[u8]) -> Result<Decoded, CodecError> {
         return Err(CodecError::new("payload checksum mismatch"));
     }
     let mut r = ByteReader::new(payload);
+    let generation = r.get_u64()?;
 
-    let np = r.get_count(33)?;
+    let np = r.get_count(41)?;
     let mut programs = Vec::with_capacity(np);
     for _ in 0..np {
         let circuit = r.get_u128()?;
@@ -370,35 +506,38 @@ fn decode_file(bytes: &[u8]) -> Result<Decoded, CodecError> {
         let pipeline = Pipeline::from_store_tag(tag)
             .ok_or_else(|| CodecError::new(format!("unknown pipeline tag {tag}")))?;
         let options = r.get_u128()?;
+        let stamp = r.get_u64()?;
         let value = read_circuit(&mut r)?;
-        programs.push((ProgramKey { circuit, pipeline, options }, Arc::new(value)));
+        programs.push((ProgramKey { circuit, pipeline, options }, stamp, Arc::new(value)));
     }
 
-    let ns = r.get_count(49)?;
+    let ns = r.get_count(57)?;
     let mut synthesis = Vec::with_capacity(ns);
     for _ in 0..ns {
         let target = r.get_u128()?;
         let num_qubits = r.get_usize()?;
         let budget = r.get_usize()?;
         let options = r.get_u128()?;
+        let stamp = r.get_u64()?;
         let value = match r.get_u8()? {
             0 => None,
             1 => Some(BlockCircuit::decode_from(&mut r)?),
             t => return Err(CodecError::new(format!("bad synthesis presence flag {t}"))),
         };
-        synthesis.push((SynthKey { target, num_qubits, budget, options }, Arc::new(value)));
+        synthesis.push((SynthKey { target, num_qubits, budget, options }, stamp, Arc::new(value)));
     }
 
-    let nu = r.get_count(48)?;
+    let nu = r.get_count(56)?;
     let mut pulses = Vec::with_capacity(nu);
     for _ in 0..nu {
         let cp = [r.get_i64()?, r.get_i64()?, r.get_i64()?];
         let class = WeylClassKey([r.get_i64()?, r.get_i64()?, r.get_i64()?]);
+        let stamp = r.get_u64()?;
         let value = read_solved_class(&mut r)?;
-        pulses.push(((cp, class), Arc::new(value)));
+        pulses.push(((cp, class), stamp, Arc::new(value)));
     }
     if !r.is_exhausted() {
         return Err(CodecError::new(format!("{} trailing bytes", r.remaining())));
     }
-    Ok(Decoded { programs, synthesis, pulses })
+    Ok(Decoded { generation, programs, synthesis, pulses })
 }

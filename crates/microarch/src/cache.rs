@@ -118,14 +118,29 @@ impl Counters {
     }
 }
 
-/// A fixed-shard concurrent hash map with counters and a per-shard
-/// capacity bound. The service layer's shared memo-table primitive: reads
-/// take only a shard read lock, writes a shard write lock.
+/// One resident entry: the value plus its last-use tick. The tick is
+/// atomic so the read-lock-only lookup path can bump it — recency
+/// tracking must not turn every hit into a write-lock acquisition.
+/// `0` is reserved for "never used since seeding": bulk-loaded entries
+/// stay distinguishable from live ones, which is what both the LRU
+/// victim choice (coldest first) and the store's GC liveness test key on.
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    last_used: AtomicU64,
+}
+
+/// A fixed-shard concurrent hash map with counters, a per-shard
+/// capacity bound, and least-recently-used eviction. The service layer's
+/// shared memo-table primitive: reads take only a shard read lock, writes
+/// a shard write lock.
 #[derive(Debug)]
 pub struct ShardedMap<K, V> {
-    shards: Vec<RwLock<HashMap<K, V>>>,
+    shards: Vec<RwLock<HashMap<K, Slot<V>>>>,
     shard_capacity: usize,
     counters: Counters,
+    /// Global recency clock; see [`Slot`].
+    tick: AtomicU64,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> ShardedMap<K, V> {
@@ -145,18 +160,31 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedMap<K, V> {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             shard_capacity,
             counters: Counters::default(),
+            tick: AtomicU64::new(0),
         }
     }
 
-    fn shard_of(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+    fn shard_of(&self, key: &K) -> &RwLock<HashMap<K, Slot<V>>> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
-    /// Looks up `key`, recording a hit or miss.
+    /// The next recency stamp (strictly positive; `0` means unused).
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Looks up `key`, recording a hit or miss (and, on a hit, marking
+    /// the entry most-recently-used).
     pub fn get(&self, key: &K) -> Option<V> {
-        let found = self.shard_of(key).read().expect("cache shard poisoned").get(key).cloned();
+        let found = {
+            let shard = self.shard_of(key).read().expect("cache shard poisoned");
+            shard.get(key).map(|slot| {
+                slot.last_used.store(self.next_tick(), Ordering::SeqCst);
+                slot.value.clone()
+            })
+        };
         match found {
             Some(v) => {
                 self.counters.hits.fetch_add(1, Ordering::SeqCst);
@@ -169,19 +197,23 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedMap<K, V> {
         }
     }
 
-    /// Inserts `key → value`, evicting an arbitrary resident entry first
-    /// when the shard is at capacity (the memoized workloads are
-    /// dominated by a small working set, so a cheap random-victim policy
-    /// loses little over LRU and needs no per-entry bookkeeping).
+    /// Inserts `key → value`, evicting the least-recently-used resident
+    /// entry first when the shard is at capacity. Never-used (seeded)
+    /// entries carry tick `0`, so bulk-loaded entries are evicted before
+    /// anything a live lookup has touched.
     pub fn insert(&self, key: K, value: V) {
         let mut shard = self.shard_of(&key).write().expect("cache shard poisoned");
         if shard.len() >= self.shard_capacity && !shard.contains_key(&key) {
-            if let Some(victim) = shard.keys().next().cloned() {
+            let victim = shard
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::SeqCst))
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
                 shard.remove(&victim);
                 self.counters.evictions.fetch_add(1, Ordering::SeqCst);
             }
         }
-        shard.insert(key, value);
+        shard.insert(key, Slot { value, last_used: AtomicU64::new(self.next_tick()) });
         self.counters.inserts.fetch_add(1, Ordering::SeqCst);
     }
 
@@ -191,22 +223,41 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedMap<K, V> {
     /// (`inserts ≤ misses`) true, and keeps hit rates meaningful: a
     /// disk-warmed entry served later still counts as a *hit* against zero
     /// misses. Respects the capacity bound by skipping (never evicting):
-    /// live inserts outrank bulk-loaded entries.
+    /// live inserts outrank bulk-loaded entries. Seeded entries start with
+    /// the "never used" recency stamp, so they are also the first LRU
+    /// victims and report `used = false` to
+    /// [`ShardedMap::for_each_with_used`] until a lookup touches them.
     pub fn seed(&self, key: K, value: V) {
         let mut shard = self.shard_of(&key).write().expect("cache shard poisoned");
         if shard.len() >= self.shard_capacity && !shard.contains_key(&key) {
             return;
         }
-        shard.insert(key, value);
+        shard.insert(key, Slot { value, last_used: AtomicU64::new(0) });
+    }
+
+    /// Removes `key` if resident, returning whether it was. No counter is
+    /// touched: removal is a lifecycle operation (store GC), not a lookup,
+    /// and not a capacity eviction.
+    pub fn remove(&self, key: &K) -> bool {
+        self.shard_of(key).write().expect("cache shard poisoned").remove(key).is_some()
     }
 
     /// Visits every resident entry (per-shard read locks; entries seeded
     /// or inserted concurrently may or may not be visited). The export
     /// path of the persistent store.
     pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        self.for_each_with_used(|k, v, _| f(k, v));
+    }
+
+    /// [`ShardedMap::for_each`] plus each entry's *used* flag: `true` when
+    /// a live lookup or insert has touched the entry, `false` for entries
+    /// that were only bulk-seeded (e.g. loaded from the persistent store)
+    /// and never served. The store's GC uses this to age out entries no
+    /// process references anymore.
+    pub fn for_each_with_used(&self, mut f: impl FnMut(&K, &V, bool)) {
         for s in &self.shards {
-            for (k, v) in s.read().expect("cache shard poisoned").iter() {
-                f(k, v);
+            for (k, slot) in s.read().expect("cache shard poisoned").iter() {
+                f(k, &slot.value, slot.last_used.load(Ordering::SeqCst) > 0);
             }
         }
     }
@@ -290,6 +341,16 @@ impl PulseCache {
     /// An empty cache with the default shape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache with an explicit shard count and per-shard capacity
+    /// (the LRU knob — see [`ShardedMap::with_shape`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `shard_capacity` is zero.
+    pub fn with_shape(shards: usize, shard_capacity: usize) -> Self {
+        Self { map: ShardedMap::with_shape(shards, shard_capacity) }
     }
 
     fn key(cp: &Coupling, w: &WeylCoord) -> PulseKey {
@@ -384,12 +445,19 @@ impl PulseCache {
     }
 
     /// Exports every memoized class as `((coupling class key, Weyl class
-    /// key), solution)` — the pulse pool's half of a persistent-store
-    /// save.
-    pub fn export_classes(&self) -> Vec<(([i64; 3], WeylClassKey), Arc<SolvedClass>)> {
+    /// key), solution, used)` — the pulse pool's half of a
+    /// persistent-store save. The trailing flag is `true` for entries a
+    /// live solve touched (see [`ShardedMap::for_each_with_used`]).
+    pub fn export_classes(&self) -> Vec<(([i64; 3], WeylClassKey), Arc<SolvedClass>, bool)> {
         let mut out = Vec::with_capacity(self.map.len());
-        self.map.for_each(|k, v| out.push(((k.coupling, k.class), v.clone())));
+        self.map.for_each_with_used(|k, v, used| out.push(((k.coupling, k.class), v.clone(), used)));
         out
+    }
+
+    /// Removes one class solution by explicit key parts, returning whether
+    /// it was resident. The store GC's in-memory purge hook.
+    pub fn remove_class(&self, coupling: [i64; 3], class: WeylClassKey) -> bool {
+        self.map.remove(&PulseKey { coupling, class })
     }
 
     /// Seeds one class solution under explicit key parts (counter-free —
@@ -513,6 +581,55 @@ mod tests {
     }
 
     #[test]
+    fn sharded_map_evicts_least_recently_used() {
+        let m: ShardedMap<u64, u64> = ShardedMap::with_shape(1, 2);
+        // Memo discipline throughout: a missed get precedes every insert.
+        assert_eq!(m.get(&1), None);
+        m.insert(1, 10);
+        assert_eq!(m.get(&2), None);
+        m.insert(2, 20);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(m.get(&1), Some(10));
+        assert_eq!(m.get(&3), None);
+        m.insert(3, 30);
+        assert_eq!(m.get(&2), None, "LRU entry must have been evicted");
+        assert_eq!(m.get(&1), Some(10));
+        assert_eq!(m.get(&3), Some(30));
+        // Accounting stays exact under eviction: the evicted key's lookup
+        // is an honest miss, everything else honest hits.
+        let s = m.stats();
+        assert_eq!((s.hits, s.misses, s.inserts, s.evictions), (3, 4, 3, 1));
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn seeded_entries_are_coldest_victims_and_report_unused() {
+        let m: ShardedMap<u64, u64> = ShardedMap::with_shape(1, 3);
+        m.seed(1, 10);
+        m.seed(2, 20);
+        assert_eq!(m.get(&2), Some(20), "seeded entry serves as a hit");
+        m.insert(3, 30);
+        // At capacity: the never-used seed (key 1) is the victim, not the
+        // seed a lookup touched and not the live insert.
+        m.insert(4, 40);
+        assert_eq!(m.get(&1), None, "unused seed must be evicted first");
+        assert_eq!(m.get(&2), Some(20));
+        assert_eq!(m.get(&4), Some(40));
+        let mut used = std::collections::BTreeMap::new();
+        m.for_each_with_used(|k, _, u| {
+            used.insert(*k, u);
+        });
+        assert_eq!(used.get(&2), Some(&true), "hit seed reports used");
+        assert_eq!(used.get(&3), Some(&true), "live insert reports used");
+        // Removal is counter-free.
+        let before = m.stats();
+        assert!(m.remove(&3));
+        assert!(!m.remove(&3));
+        assert_eq!(m.stats(), before);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
     fn get_or_insert_with_memoizes() {
         let m: ShardedMap<u64, u64> = ShardedMap::new();
         let mut calls = 0;
@@ -555,9 +672,10 @@ mod tests {
         cache.solve(&cp, &WeylCoord::iswap()).expect("solve");
         let exported = cache.export_classes();
         assert_eq!(exported.len(), 2);
+        assert!(exported.iter().all(|(_, _, used)| *used), "live solves must mark entries used");
         // Round-trip every class through the codec into a fresh cache.
         let warm = PulseCache::new();
-        for (key, entry) in &exported {
+        for (key, entry, _) in &exported {
             let mut w = reqisc_qmath::ByteWriter::new();
             write_solved_class(&mut w, entry);
             let bytes = w.into_bytes();

@@ -31,4 +31,4 @@ pub use circuit::{embed, Circuit};
 pub use codec::{read_circuit, read_gate, write_circuit, write_gate};
 pub use dag::Dag;
 pub use gate::Gate;
-pub use qasm::{emit, parse, ParseQasmError};
+pub use qasm::{emit, parse, parse_bounded, ParseLimits, ParseQasmError};

@@ -79,6 +79,61 @@ impl std::fmt::Display for ParseQasmError {
 
 impl std::error::Error for ParseQasmError {}
 
+/// Input bounds for [`parse_bounded`] — the service-boundary guard rails.
+/// A compile service accepting QASM from untrusted callers must bound
+/// what it agrees to *compile*: a 40-qubit header would make the first
+/// `unitary()` allocate 2⁸⁰ complex entries. The checks run after the
+/// (cheap, gate-list-only) parse, so the raw *input size* must be
+/// bounded by the transport — the service caps request lines at
+/// `MAX_REQUEST_LINE_BYTES` before any text reaches this function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum accepted `qubits N` header value.
+    pub max_qubits: usize,
+    /// Maximum accepted gate count.
+    pub max_gates: usize,
+}
+
+impl Default for ParseLimits {
+    /// Generous interactive-service defaults: 16 qubits (the demo suite's
+    /// ceiling with headroom), 100k gates.
+    fn default() -> Self {
+        Self { max_qubits: 16, max_gates: 100_000 }
+    }
+}
+
+/// [`parse`] with explicit input bounds: rejects (with a line-1 error for
+/// the header, or the offending gate's line) instead of building an
+/// oversized circuit.
+///
+/// # Errors
+///
+/// [`ParseQasmError`] on malformed input or a violated limit.
+pub fn parse_bounded(text: &str, limits: &ParseLimits) -> Result<Circuit, ParseQasmError> {
+    let c = parse(text)?;
+    if c.num_qubits() > limits.max_qubits {
+        return Err(ParseQasmError {
+            line: 1,
+            message: format!(
+                "{} qubits exceeds the limit of {}",
+                c.num_qubits(),
+                limits.max_qubits
+            ),
+        });
+    }
+    if c.gates().len() > limits.max_gates {
+        return Err(ParseQasmError {
+            line: 1,
+            message: format!(
+                "{} gates exceeds the limit of {}",
+                c.gates().len(),
+                limits.max_gates
+            ),
+        });
+    }
+    Ok(c)
+}
+
 /// Parses QASM-lite text produced by [`emit`].
 ///
 /// # Errors

@@ -1,0 +1,262 @@
+//! `reqisc-client` — a small line-protocol client for `reqiscd`.
+//!
+//! ```text
+//! reqisc-client [--socket PATH] [--connect-timeout-secs S] <command>
+//!
+//! commands:
+//!   submit --pipeline P (--bench NAME | --qasm-file FILE) [--priority N]
+//!   suite [--take N] [--pipelines a,b,...]      submit demo-suite programs
+//!   stats [--require-program-hit-pct X] [--require-zero-rejected]
+//!   snapshot
+//!   compact [--max-idle-gens N]
+//!   shutdown
+//! ```
+//!
+//! Prints every response line to stdout; exits nonzero when any response
+//! is not ok or an assertion flag fails. The connect loop retries for
+//! `--connect-timeout-secs` (default 10) so a just-spawned daemon can
+//! finish binding its socket.
+
+#[cfg(unix)]
+fn main() {
+    use reqisc_service::{Json, StatsSnapshot};
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    use std::path::PathBuf;
+
+    fn usage() -> ! {
+        eprintln!(
+            "usage: reqisc-client [--socket PATH] [--connect-timeout-secs S] \
+             (submit --pipeline P (--bench NAME | --qasm-file F) [--priority N] \
+             | suite [--take N] [--pipelines a,b] \
+             | stats [--require-program-hit-pct X] [--require-zero-rejected] \
+             | snapshot | compact [--max-idle-gens N] | shutdown)"
+        );
+        std::process::exit(2);
+    }
+
+    let mut socket = PathBuf::from("/tmp/reqiscd.sock");
+    let mut connect_timeout = std::time::Duration::from_secs(10);
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--connect-timeout-secs" => {
+                let s: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                connect_timeout = std::time::Duration::from_secs(s);
+            }
+            _ => {
+                rest.push(a);
+                rest.extend(it.by_ref());
+            }
+        }
+    }
+    if rest.is_empty() {
+        usage();
+    }
+    let command = rest.remove(0);
+    let flag = |name: &str| -> Option<String> {
+        rest.iter().position(|a| a == name).map(|i| {
+            rest.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        })
+    };
+    let has = |name: &str| rest.iter().any(|a| a == name);
+
+    // Build the request lines.
+    let mut require_hit_pct: Option<f64> = None;
+    let mut require_zero_rejected = false;
+    let mut lines: Vec<String> = Vec::new();
+    let mut next_id = 1u64;
+    let mut id = || {
+        let v = next_id;
+        next_id += 1;
+        v
+    };
+    match command.as_str() {
+        "submit" => {
+            let pipeline = flag("--pipeline").unwrap_or_else(|| usage());
+            let priority = flag("--priority").map(|p| format!(",\"priority\":{p}")).unwrap_or_default();
+            let source = match (flag("--bench"), flag("--qasm-file")) {
+                (Some(b), None) => format!("\"bench\":{}", Json::str(b).emit()),
+                (None, Some(f)) => {
+                    let text = std::fs::read_to_string(&f).unwrap_or_else(|e| {
+                        eprintln!("cannot read {f}: {e}");
+                        std::process::exit(1);
+                    });
+                    format!("\"qasm\":{}", Json::str(text).emit())
+                }
+                _ => usage(),
+            };
+            lines.push(format!(
+                "{{\"id\":{},\"op\":\"compile\",\"pipeline\":{},{}{}}}",
+                id(),
+                Json::str(pipeline).emit(),
+                source,
+                priority
+            ));
+        }
+        "suite" => {
+            let take: usize = flag("--take").and_then(|v| v.parse().ok()).unwrap_or(usize::MAX);
+            let pipelines = flag("--pipelines").unwrap_or_else(|| "reqisc-eff".into());
+            let names: Vec<String> = reqisc_benchsuite::suite(reqisc_benchsuite::Scale::Demo)
+                .into_iter()
+                .map(|b| b.name)
+                .take(take)
+                .collect();
+            for p in pipelines.split(',') {
+                for n in &names {
+                    lines.push(format!(
+                        "{{\"id\":{},\"op\":\"compile\",\"pipeline\":{},\"bench\":{}}}",
+                        id(),
+                        Json::str(p).emit(),
+                        Json::str(n.clone()).emit()
+                    ));
+                }
+            }
+        }
+        "stats" => {
+            require_hit_pct = flag("--require-program-hit-pct").and_then(|v| v.parse().ok());
+            require_zero_rejected = has("--require-zero-rejected");
+            lines.push(format!("{{\"id\":{},\"op\":\"stats\"}}", id()));
+        }
+        "snapshot" => lines.push(format!("{{\"id\":{},\"op\":\"snapshot\"}}", id())),
+        "compact" => {
+            let gens = flag("--max-idle-gens")
+                .map(|g| format!(",\"max_idle_gens\":{g}"))
+                .unwrap_or_default();
+            lines.push(format!("{{\"id\":{},\"op\":\"compact\"{}}}", id(), gens));
+        }
+        "shutdown" => lines.push(format!("{{\"id\":{},\"op\":\"shutdown\"}}", id())),
+        _ => usage(),
+    }
+
+    // Connect (with retry — the daemon may still be binding).
+    let deadline = std::time::Instant::now() + connect_timeout;
+    let stream = loop {
+        match UnixStream::connect(&socket) {
+            Ok(s) => break s,
+            Err(e) => {
+                if std::time::Instant::now() >= deadline {
+                    eprintln!("cannot connect to {}: {e}", socket.display());
+                    std::process::exit(1);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        }
+    };
+
+    // Send in bounded windows and read each window's (in-order)
+    // responses before sending the next: a large `suite` must not
+    // outrun the daemon's bounded queue (default capacity 256) — that
+    // would turn the bulk path into guaranteed queue_full rejections.
+    const WINDOW: usize = 128;
+    let mut reader = BufReader::new(&stream);
+    let mut collected: Vec<String> = Vec::new();
+    let mut early_eof = false;
+    for chunk in lines.chunks(WINDOW) {
+        {
+            let mut w = &stream;
+            for l in chunk {
+                writeln!(w, "{l}").expect("write request");
+            }
+            w.flush().expect("flush");
+        }
+        for _ in 0..chunk.len() {
+            let mut line = String::new();
+            if reader.read_line(&mut line).expect("read response") == 0 {
+                early_eof = true;
+                break;
+            }
+            collected.push(line.trim_end().to_string());
+        }
+        if early_eof {
+            break;
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let mut failures = 0u64;
+    let mut responses = 0u64;
+    for line in collected {
+        if line.trim().is_empty() {
+            continue;
+        }
+        println!("{line}");
+        responses += 1;
+        let v = match Json::parse(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("unparseable response: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        if v.get("ok").and_then(Json::as_bool) != Some(true) {
+            failures += 1;
+            continue;
+        }
+        if let Some(stats) = v.get("stats") {
+            match StatsSnapshot::from_json(stats) {
+                Ok(s) => {
+                    if let Some(pct) = require_hit_pct {
+                        let p = &s.cache.programs;
+                        let rate = 100.0 * p.hit_rate();
+                        if p.lookups() == 0 || rate < pct {
+                            eprintln!(
+                                "ASSERTION FAILED: program-pool hit rate {rate:.1}% < {pct}% \
+                                 ({} hits / {} lookups)",
+                                p.hits,
+                                p.lookups()
+                            );
+                            failures += 1;
+                        } else {
+                            eprintln!("# assertion passed: program-pool hit rate {rate:.1}% >= {pct}%");
+                        }
+                    }
+                    if require_zero_rejected {
+                        match s.store {
+                            Some(st) if st.rejected == 0 => {
+                                eprintln!("# assertion passed: zero rejected store loads");
+                            }
+                            Some(st) => {
+                                eprintln!(
+                                    "ASSERTION FAILED: {} rejected store loads",
+                                    st.rejected
+                                );
+                                failures += 1;
+                            }
+                            None => {
+                                eprintln!("ASSERTION FAILED: service has no store");
+                                failures += 1;
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("bad stats payload: {e}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if responses < lines.len() as u64 {
+        eprintln!("missing responses: sent {}, got {responses}", lines.len());
+        failures += 1;
+    }
+    if failures > 0 {
+        eprintln!("{failures} failure(s)");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("reqisc-client needs unix domain sockets");
+    std::process::exit(2);
+}

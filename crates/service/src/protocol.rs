@@ -1,0 +1,403 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! ## Requests
+//!
+//! One JSON object per line. `id` is an arbitrary caller-chosen u64
+//! echoed back in the response; `op` selects the operation:
+//!
+//! ```text
+//! {"id":1,"op":"compile","pipeline":"reqisc-eff","qasm":"qubits 2\ncx 0 1\n","priority":7}
+//! {"id":2,"op":"compile","pipeline":"reqisc-full","bench":"alu_v0"}
+//! {"id":3,"op":"stats"}
+//! {"id":4,"op":"snapshot"}
+//! {"id":5,"op":"compact","max_idle_gens":2}
+//! {"id":6,"op":"shutdown"}
+//! ```
+//!
+//! `compile` takes exactly one of `qasm` (QASM-lite source, see
+//! `reqisc_qcircuit::qasm`) or `bench` (a demo-suite program name);
+//! `priority` is optional (0–9, default 5, higher first). Two debug ops,
+//! `sleep` (`{"ms":N}`) and `panic`, exist behind the daemon's
+//! `--debug-ops` flag so tests can pin queue semantics deterministically.
+//!
+//! ## Responses
+//!
+//! One JSON object per line, in request order per connection:
+//!
+//! ```text
+//! {"id":1,"ok":true,"op":"compile","fingerprint":"6b86…","count_2q":1,"depth_2q":1,"duration_g":2.22,"coalesced":false}
+//! {"id":3,"ok":true,"op":"stats","stats":{…}}
+//! {"id":9,"ok":false,"error":"queue_full","detail":"queue full (capacity 256)"}
+//! ```
+//!
+//! Error `error` codes are machine-matchable: `queue_full`, `bad_request`,
+//! `parse_error`, `compile_failed`, `no_store`, `io`.
+
+use crate::json::Json;
+use crate::queue::{Priority, DEFAULT_PRIORITY, MAX_PRIORITY};
+use reqisc_compiler::{CacheStats, CompileCacheStats, Metrics, Pipeline, StoreStats};
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The operation.
+    pub body: RequestBody,
+}
+
+/// The program source of a compile request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileSource {
+    /// Inline QASM-lite source text.
+    Qasm(String),
+    /// A benchsuite demo-scale program name (e.g. `alu_v0`).
+    Bench(String),
+}
+
+/// A request's operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Compile a program through a pipeline.
+    Compile {
+        /// Where the program comes from.
+        source: CompileSource,
+        /// The pipeline to run.
+        pipeline: Pipeline,
+        /// Queue priority (0–9, higher first).
+        priority: Priority,
+    },
+    /// Counter snapshot (service + cache + store) as JSON.
+    Stats,
+    /// Persist the cache pools to the store now.
+    Snapshot,
+    /// Snapshot + GC: drop entries idle for more than `max_idle_gens`
+    /// store generations (`None` = the service's configured default).
+    Compact {
+        /// Idle-generation threshold override.
+        max_idle_gens: Option<u64>,
+    },
+    /// Graceful shutdown: drain the queue, flush the store, exit.
+    Shutdown,
+    /// Debug (gated): hold a worker for `ms` milliseconds.
+    DebugSleep {
+        /// Hold duration in milliseconds.
+        ms: u64,
+    },
+    /// Debug (gated): panic inside a worker (poisoned-job drill).
+    DebugPanic,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable description; the caller wraps it in a `bad_request`
+/// (or `parse_error`) response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = Json::parse(line).map_err(|e| e.to_string())?;
+    let id = v.get("id").and_then(Json::as_u64).ok_or("missing or invalid 'id'")?;
+    let op = v.get("op").and_then(Json::as_str).ok_or("missing 'op'")?;
+    let body = match op {
+        "compile" => {
+            let pipeline_name =
+                v.get("pipeline").and_then(Json::as_str).ok_or("compile: missing 'pipeline'")?;
+            let pipeline = Pipeline::from_name(pipeline_name).ok_or_else(|| {
+                format!(
+                    "compile: unknown pipeline '{pipeline_name}' (expected one of {})",
+                    Pipeline::ALL.map(|p| p.name()).join(", ")
+                )
+            })?;
+            let priority = match v.get("priority") {
+                None => DEFAULT_PRIORITY,
+                Some(p) => {
+                    let p = p.as_u64().ok_or("compile: 'priority' must be an integer")?;
+                    if p > MAX_PRIORITY as u64 {
+                        return Err(format!("compile: priority {p} out of range 0–{MAX_PRIORITY}"));
+                    }
+                    p as Priority
+                }
+            };
+            let source = match (v.get("qasm"), v.get("bench")) {
+                (Some(q), None) => CompileSource::Qasm(
+                    q.as_str().ok_or("compile: 'qasm' must be a string")?.to_string(),
+                ),
+                (None, Some(b)) => CompileSource::Bench(
+                    b.as_str().ok_or("compile: 'bench' must be a string")?.to_string(),
+                ),
+                _ => return Err("compile: exactly one of 'qasm' or 'bench' required".into()),
+            };
+            RequestBody::Compile { source, pipeline, priority }
+        }
+        "stats" => RequestBody::Stats,
+        "snapshot" => RequestBody::Snapshot,
+        "compact" => RequestBody::Compact {
+            max_idle_gens: match v.get("max_idle_gens") {
+                None => None,
+                Some(g) => Some(g.as_u64().ok_or("compact: 'max_idle_gens' must be an integer")?),
+            },
+        },
+        "shutdown" => RequestBody::Shutdown,
+        "sleep" => RequestBody::DebugSleep {
+            ms: v.get("ms").and_then(Json::as_u64).ok_or("sleep: missing 'ms'")?,
+        },
+        "panic" => RequestBody::DebugPanic,
+        other => return Err(format!("unknown op '{other}'")),
+    };
+    Ok(Request { id, body })
+}
+
+/// Builds a successful compile response.
+pub fn compile_response(
+    id: u64,
+    fingerprint: u128,
+    metrics: &Metrics,
+    coalesced: bool,
+) -> Json {
+    Json::obj(vec![
+        ("id", Json::num_u64(id)),
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("compile")),
+        ("fingerprint", Json::str(format!("{fingerprint:032x}"))),
+        ("count_2q", Json::num_u64(metrics.count_2q as u64)),
+        ("depth_2q", Json::num_u64(metrics.depth_2q as u64)),
+        ("duration_g", Json::Num(metrics.duration)),
+        ("coalesced", Json::Bool(coalesced)),
+    ])
+}
+
+/// Builds a plain success acknowledgement for `op`.
+pub fn ok_response(id: u64, op: &str) -> Json {
+    Json::obj(vec![
+        ("id", Json::num_u64(id)),
+        ("ok", Json::Bool(true)),
+        ("op", Json::str(op)),
+    ])
+}
+
+/// Builds an error response. `code` is machine-matchable (see module
+/// docs); `detail` is free text.
+pub fn error_response(id: u64, code: &str, detail: impl Into<String>) -> Json {
+    Json::obj(vec![
+        ("id", Json::num_u64(id)),
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(code)),
+        ("detail", Json::str(detail.into())),
+    ])
+}
+
+/// Point-in-time service-level counters (the queue/coalescing half of a
+/// [`StatsSnapshot`]; cache and store counters ride alongside).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceCounters {
+    /// Jobs admitted (queued or coalesced).
+    pub submitted: u64,
+    /// Jobs completed successfully.
+    pub completed: u64,
+    /// Jobs that failed (panicking pipeline, failing debug op).
+    pub failed: u64,
+    /// Requests answered by joining an in-flight identical job.
+    pub coalesced: u64,
+    /// Requests rejected because the queue was at capacity.
+    pub rejected_queue_full: u64,
+    /// Store snapshots (plain saves and compactions) taken.
+    pub snapshots: u64,
+    /// Jobs queued right now (gauge, not a counter).
+    pub queue_depth: u64,
+}
+
+/// Everything the `stats` op reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Service-level queue/coalescing counters.
+    pub service: ServiceCounters,
+    /// Compile-cache pool counters.
+    pub cache: CompileCacheStats,
+    /// Store counters (`None` when the service runs without a store).
+    pub store: Option<StoreStats>,
+}
+
+fn cache_stats_json(s: &CacheStats) -> Json {
+    Json::obj(vec![
+        ("hits", Json::num_u64(s.hits)),
+        ("misses", Json::num_u64(s.misses)),
+        ("inserts", Json::num_u64(s.inserts)),
+        ("evictions", Json::num_u64(s.evictions)),
+    ])
+}
+
+fn cache_stats_from(v: &Json) -> Result<CacheStats, String> {
+    let f = |k: &str| v.get(k).and_then(Json::as_u64).ok_or(format!("missing counter '{k}'"));
+    Ok(CacheStats {
+        hits: f("hits")?,
+        misses: f("misses")?,
+        inserts: f("inserts")?,
+        evictions: f("evictions")?,
+    })
+}
+
+impl StatsSnapshot {
+    /// Serializes every counter (the `stats` member of a stats response).
+    pub fn to_json(&self) -> Json {
+        let sc = &self.service;
+        let mut members = vec![
+            (
+                "service",
+                Json::obj(vec![
+                    ("submitted", Json::num_u64(sc.submitted)),
+                    ("completed", Json::num_u64(sc.completed)),
+                    ("failed", Json::num_u64(sc.failed)),
+                    ("coalesced", Json::num_u64(sc.coalesced)),
+                    ("rejected_queue_full", Json::num_u64(sc.rejected_queue_full)),
+                    ("snapshots", Json::num_u64(sc.snapshots)),
+                    ("queue_depth", Json::num_u64(sc.queue_depth)),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("programs", cache_stats_json(&self.cache.programs)),
+                    ("synthesis", cache_stats_json(&self.cache.synthesis)),
+                    ("pulses", cache_stats_json(&self.cache.pulses)),
+                ]),
+            ),
+        ];
+        if let Some(st) = &self.store {
+            members.push((
+                "store",
+                Json::obj(vec![
+                    ("loaded_entries", Json::num_u64(st.loaded_entries)),
+                    ("saved_entries", Json::num_u64(st.saved_entries)),
+                    ("rejected", Json::num_u64(st.rejected)),
+                    ("compactions", Json::num_u64(st.compactions)),
+                    ("gc_dropped", Json::num_u64(st.gc_dropped)),
+                ]),
+            ));
+        }
+        Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Parses a stats JSON back into counters — the inverse of
+    /// [`StatsSnapshot::to_json`], used by the client's assertion flags
+    /// and pinned by the round-trip test.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first missing/invalid member.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let sv = v.get("service").ok_or("missing 'service'")?;
+        let f = |k: &str| sv.get(k).and_then(Json::as_u64).ok_or(format!("missing counter '{k}'"));
+        let service = ServiceCounters {
+            submitted: f("submitted")?,
+            completed: f("completed")?,
+            failed: f("failed")?,
+            coalesced: f("coalesced")?,
+            rejected_queue_full: f("rejected_queue_full")?,
+            snapshots: f("snapshots")?,
+            queue_depth: f("queue_depth")?,
+        };
+        let cv = v.get("cache").ok_or("missing 'cache'")?;
+        let cache = CompileCacheStats {
+            programs: cache_stats_from(cv.get("programs").ok_or("missing 'programs'")?)?,
+            synthesis: cache_stats_from(cv.get("synthesis").ok_or("missing 'synthesis'")?)?,
+            pulses: cache_stats_from(cv.get("pulses").ok_or("missing 'pulses'")?)?,
+        };
+        let store = match v.get("store") {
+            None => None,
+            Some(st) => {
+                let f = |k: &str| {
+                    st.get(k).and_then(Json::as_u64).ok_or(format!("missing counter '{k}'"))
+                };
+                Some(StoreStats {
+                    loaded_entries: f("loaded_entries")?,
+                    saved_entries: f("saved_entries")?,
+                    rejected: f("rejected")?,
+                    compactions: f("compactions")?,
+                    gc_dropped: f("gc_dropped")?,
+                })
+            }
+        };
+        Ok(StatsSnapshot { service, cache, store })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_compile_requests() {
+        let r = parse_request(
+            r#"{"id":3,"op":"compile","pipeline":"reqisc-eff","qasm":"qubits 1\nh 0\n"}"#,
+        )
+        .expect("parse");
+        assert_eq!(r.id, 3);
+        match r.body {
+            RequestBody::Compile { source: CompileSource::Qasm(q), pipeline, priority } => {
+                assert_eq!(q, "qubits 1\nh 0\n");
+                assert_eq!(pipeline, Pipeline::ReqiscEff);
+                assert_eq!(priority, DEFAULT_PRIORITY);
+            }
+            other => panic!("wrong body {other:?}"),
+        }
+        let r = parse_request(
+            r#"{"id":4,"op":"compile","pipeline":"qiskit","bench":"alu_v0","priority":9}"#,
+        )
+        .expect("parse");
+        assert!(matches!(
+            r.body,
+            RequestBody::Compile { source: CompileSource::Bench(_), priority: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        for bad in [
+            "not json",
+            r#"{"op":"stats"}"#,                                        // no id
+            r#"{"id":1}"#,                                              // no op
+            r#"{"id":1,"op":"noop"}"#,                                  // unknown op
+            r#"{"id":1,"op":"compile","pipeline":"nope","bench":"x"}"#, // bad pipeline
+            r#"{"id":1,"op":"compile","pipeline":"qiskit"}"#,           // no source
+            r#"{"id":1,"op":"compile","pipeline":"qiskit","bench":"x","qasm":"y"}"#, // both
+            r#"{"id":1,"op":"compile","pipeline":"qiskit","bench":"x","priority":12}"#, // range
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn stats_snapshot_roundtrips_all_counters() {
+        let snap = StatsSnapshot {
+            service: ServiceCounters {
+                submitted: 10,
+                completed: 8,
+                failed: 1,
+                coalesced: 3,
+                rejected_queue_full: 2,
+                snapshots: 4,
+                queue_depth: 1,
+            },
+            cache: CompileCacheStats {
+                programs: CacheStats { hits: 5, misses: 3, inserts: 3, evictions: 1 },
+                synthesis: CacheStats { hits: 50, misses: 30, inserts: 30, evictions: 0 },
+                pulses: CacheStats { hits: 7, misses: 2, inserts: 2, evictions: 0 },
+            },
+            store: Some(StoreStats {
+                loaded_entries: 100,
+                saved_entries: 120,
+                rejected: 0,
+                compactions: 2,
+                gc_dropped: 17,
+            }),
+        };
+        let j = snap.to_json();
+        let back = StatsSnapshot::from_json(&Json::parse(&j.emit()).expect("emit parses"))
+            .expect("from_json");
+        assert_eq!(back, snap, "every counter must survive the wire");
+        // Store-less snapshots round-trip too.
+        let no_store = StatsSnapshot { store: None, ..snap };
+        let back = StatsSnapshot::from_json(&no_store.to_json()).expect("from_json");
+        assert_eq!(back, no_store);
+    }
+}

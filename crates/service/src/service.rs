@@ -1,0 +1,572 @@
+//! The resident compile service: a worker pool draining a bounded
+//! priority queue through a shared [`Compiler`], with in-flight request
+//! coalescing and persistent-store lifecycle management (periodic and
+//! on-shutdown snapshots, optional GC/compaction).
+//!
+//! ## Coalescing
+//!
+//! Jobs are keyed by `(circuit content hash, pipeline, options
+//! fingerprint)` — exactly the whole-program cache key — so N identical
+//! concurrent requests occupy **one** queue slot and one worker: the
+//! first submission enqueues, the rest attach to the in-flight entry and
+//! all N receive the one result. (A request arriving *after* the job
+//! completed is not coalesced; it is a plain program-pool cache hit.)
+//! A duplicate hotter than the queued original boosts the queued job to
+//! its priority, so coalescing never inverts the priority contract.
+//!
+//! ## Failure isolation
+//!
+//! A panicking pipeline (or the gated debug `panic` op) is caught per
+//! job: every attached waiter gets an error response, the `failed`
+//! counter ticks, and the worker survives to take the next job.
+
+use crate::protocol::{CompileSource, ServiceCounters, StatsSnapshot};
+use crate::queue::{JobQueue, Priority, QueueFull};
+use reqisc_compiler::{
+    CacheStore, CompactOutcome, CompileCache, Compiler, LoadOutcome, Pipeline,
+};
+use reqisc_qcircuit::{parse_bounded, Circuit, ParseLimits};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Service construction options.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker-pool size; `0` = the available hardware parallelism (the
+    /// same resolution rule as [`Compiler::block_threads`]).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it reject immediately.
+    pub queue_capacity: usize,
+    /// Persistent store directory (`None` = in-memory only). The store
+    /// is loaded before the first worker starts and flushed on shutdown.
+    pub cache_dir: Option<PathBuf>,
+    /// Periodic snapshot interval (`None` = on-shutdown only).
+    pub snapshot_interval: Option<Duration>,
+    /// When set, periodic snapshots (and explicit `compact` requests
+    /// without their own threshold) GC entries idle for more than this
+    /// many store generations. `None` = snapshots never drop anything.
+    pub gc_max_idle_gens: Option<u64>,
+    /// Memo-pool shape override `(shards, per-shard capacity)` — the LRU
+    /// eviction knob. `None` = the default generous shape (effectively
+    /// unbounded; evictions stay 0).
+    pub pool_shape: Option<(usize, usize)>,
+    /// Accept the debug `sleep`/`panic` ops (tests and drills only).
+    pub debug_ops: bool,
+    /// Bounds on QASM accepted at the service boundary.
+    pub parse_limits: ParseLimits,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_capacity: 256,
+            cache_dir: None,
+            snapshot_interval: None,
+            gc_max_idle_gens: None,
+            pool_shape: None,
+            debug_ops: false,
+            parse_limits: ParseLimits::default(),
+        }
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity (or the service is draining).
+    QueueFull(QueueFull),
+    /// The request itself is unusable (unknown bench name, QASM parse
+    /// failure, over-limit input, gated debug op).
+    Invalid(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull(q) => write!(f, "{q}"),
+            SubmitError::Invalid(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A finished job's payload: the compiled circuit (compile jobs; `None`
+/// for debug ops) plus a global completion sequence number (monotone —
+/// the queue-semantics tests assert ordering through it).
+#[derive(Debug, Clone)]
+pub struct JobDone {
+    /// The compiled circuit (`None` for debug ops).
+    pub circuit: Option<Arc<Circuit>>,
+    /// Global completion order (1-based).
+    pub done_seq: u64,
+}
+
+/// What a waiter receives: the result or the failure message.
+pub type JobResult = Result<JobDone, String>;
+
+/// A claim on one submitted job's result.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<JobResult>,
+    /// True when this submission attached to an already-in-flight
+    /// identical job instead of occupying a queue slot.
+    pub coalesced: bool,
+}
+
+impl Ticket {
+    /// Blocks until the job finishes.
+    pub fn wait(self) -> JobResult {
+        self.rx.recv().unwrap_or_else(|_| Err("service terminated before the job ran".into()))
+    }
+}
+
+/// In-flight dedup key: identical keys ⇒ identical results, by the same
+/// argument that makes the whole-program cache key sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct JobKey {
+    circuit: u128,
+    pipeline: Pipeline,
+    options: u128,
+}
+
+enum Job {
+    Compile { key: JobKey, circuit: Arc<Circuit>, pipeline: Pipeline },
+    Sleep { ms: u64, tx: mpsc::Sender<JobResult> },
+    Panic { tx: mpsc::Sender<JobResult> },
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    coalesced: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    snapshots: AtomicU64,
+}
+
+struct Inner {
+    compiler: Compiler,
+    store: Option<CacheStore>,
+    /// Serializes save/compact against each other (timer vs. requests vs.
+    /// shutdown); the store itself is only torn-write-safe, not
+    /// merge-atomic, within one process.
+    store_lock: Mutex<()>,
+    queue: JobQueue<Job>,
+    inflight: Mutex<HashMap<JobKey, Vec<mpsc::Sender<JobResult>>>>,
+    counters: Counters,
+    done_seq: AtomicU64,
+    gc_max_idle_gens: Option<u64>,
+    debug_ops: bool,
+    parse_limits: ParseLimits,
+    benches: OnceLock<HashMap<String, Arc<Circuit>>>,
+    /// Set by a protocol `shutdown` request; transport accept loops poll it.
+    shutdown_requested: AtomicBool,
+    timer_stop: (Mutex<bool>, Condvar),
+}
+
+impl Inner {
+    fn worker_loop(&self) {
+        while let Some(job) = self.queue.pop() {
+            match job {
+                Job::Compile { key, circuit, pipeline } => {
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        self.compiler.compile(&circuit, pipeline)
+                    }));
+                    let done_seq = self.done_seq.fetch_add(1, Ordering::SeqCst) + 1;
+                    let result: JobResult = match out {
+                        Ok(c) => {
+                            self.counters.completed.fetch_add(1, Ordering::SeqCst);
+                            Ok(JobDone { circuit: Some(Arc::new(c)), done_seq })
+                        }
+                        Err(p) => {
+                            self.counters.failed.fetch_add(1, Ordering::SeqCst);
+                            Err(format!("compile panicked: {}", panic_message(&p)))
+                        }
+                    };
+                    let waiters = self
+                        .inflight
+                        .lock()
+                        .expect("inflight map poisoned")
+                        .remove(&key)
+                        .unwrap_or_default();
+                    for tx in waiters {
+                        // A waiter that dropped its ticket is not an error.
+                        let _ = tx.send(result.clone());
+                    }
+                }
+                Job::Sleep { ms, tx } => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                    let done_seq = self.done_seq.fetch_add(1, Ordering::SeqCst) + 1;
+                    self.counters.completed.fetch_add(1, Ordering::SeqCst);
+                    let _ = tx.send(Ok(JobDone { circuit: None, done_seq }));
+                }
+                Job::Panic { tx } => {
+                    // A *real* panic through the same isolation path real
+                    // pipeline panics take — the poisoned-job drill.
+                    let out = catch_unwind(|| panic!("debug panic op"));
+                    debug_assert!(out.is_err());
+                    self.done_seq.fetch_add(1, Ordering::SeqCst);
+                    self.counters.failed.fetch_add(1, Ordering::SeqCst);
+                    let _ = tx.send(Err("compile panicked: debug panic op".into()));
+                }
+            }
+        }
+    }
+
+    /// One snapshot: a compacting save when GC is configured, else plain.
+    fn snapshot(&self, gc_override: Option<u64>) -> std::io::Result<SnapshotReport> {
+        let Some(store) = &self.store else {
+            return Ok(SnapshotReport::NoStore);
+        };
+        let _guard = self.store_lock.lock().expect("store lock poisoned");
+        self.counters.snapshots.fetch_add(1, Ordering::SeqCst);
+        match gc_override.or(self.gc_max_idle_gens) {
+            Some(max_idle) => {
+                let o = store.compact(self.compiler.cache(), max_idle)?;
+                Ok(SnapshotReport::Compacted(o))
+            }
+            None => {
+                let n = store.save(self.compiler.cache())?;
+                Ok(SnapshotReport::Saved { entries: n })
+            }
+        }
+    }
+}
+
+/// What one snapshot pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotReport {
+    /// The service runs without a persistent store.
+    NoStore,
+    /// Plain save: `entries` written.
+    Saved {
+        /// Entries written.
+        entries: usize,
+    },
+    /// Compacting save.
+    Compacted(CompactOutcome),
+}
+
+fn panic_message(p: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".into()
+    }
+}
+
+/// The running service (see module docs). Dropping it shuts down
+/// gracefully: drain the queue, join the workers, flush the store.
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    timer: Mutex<Option<std::thread::JoinHandle<()>>>,
+    stopped: AtomicBool,
+    startup_load: Option<LoadOutcome>,
+}
+
+impl Service {
+    /// Starts a service with a freshly built compiler (pre-synthesizing
+    /// the template library — the one-time resident cost interactive
+    /// callers no longer pay per request).
+    pub fn start(config: ServiceConfig) -> Self {
+        let compiler = match config.pool_shape {
+            Some((shards, cap)) => Compiler::new_with_library_and_cache(
+                Compiler::builtin_library(),
+                CompileCache::with_shape(shards, cap),
+            ),
+            None => Compiler::new(),
+        };
+        Self::start_with_compiler(compiler, config)
+    }
+
+    /// Starts a service around an existing compiler — the constructor for
+    /// tests (cheap search budgets, shared template libraries) and for
+    /// embedders that pre-tune [`Compiler::hs`].
+    pub fn start_with_compiler(mut compiler: Compiler, config: ServiceConfig) -> Self {
+        // Workers are the parallelism; per-job block batching inside a
+        // worker would oversubscribe the pool.
+        compiler.block_threads = 1;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let store = config.cache_dir.as_ref().map(CacheStore::new);
+        let startup_load = store.as_ref().map(|s| s.load_into(compiler.cache()));
+        let inner = Arc::new(Inner {
+            compiler,
+            store,
+            store_lock: Mutex::new(()),
+            queue: JobQueue::new(config.queue_capacity),
+            inflight: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            done_seq: AtomicU64::new(0),
+            gc_max_idle_gens: config.gc_max_idle_gens,
+            debug_ops: config.debug_ops,
+            parse_limits: config.parse_limits,
+            benches: OnceLock::new(),
+            shutdown_requested: AtomicBool::new(false),
+            timer_stop: (Mutex::new(false), Condvar::new()),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let inner = inner.clone();
+                std::thread::spawn(move || inner.worker_loop())
+            })
+            .collect();
+        let timer = config.snapshot_interval.map(|interval| {
+            let inner = inner.clone();
+            std::thread::spawn(move || {
+                let (lock, cv) = &inner.timer_stop;
+                let mut stopped = lock.lock().expect("timer lock poisoned");
+                loop {
+                    let (guard, timeout) = cv
+                        .wait_timeout(stopped, interval)
+                        .expect("timer lock poisoned");
+                    stopped = guard;
+                    if *stopped {
+                        break;
+                    }
+                    if timeout.timed_out() {
+                        if let Err(e) = inner.snapshot(None) {
+                            eprintln!("# reqisc-service: periodic snapshot failed: {e}");
+                        }
+                    }
+                }
+            })
+        });
+        Self {
+            inner,
+            workers: Mutex::new(handles),
+            timer: Mutex::new(timer),
+            stopped: AtomicBool::new(false),
+            startup_load,
+        }
+    }
+
+    /// The store-load outcome observed at startup (`None` = no store
+    /// configured).
+    pub fn startup_load(&self) -> Option<&LoadOutcome> {
+        self.startup_load.as_ref()
+    }
+
+    /// Resolves a protocol compile source into a circuit: QASM parses
+    /// under the configured [`ParseLimits`]; bench names resolve against
+    /// the demo-scale benchsuite.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] with a description.
+    pub fn resolve_source(&self, source: &CompileSource) -> Result<Arc<Circuit>, SubmitError> {
+        match source {
+            CompileSource::Qasm(text) => parse_bounded(text, &self.inner.parse_limits)
+                .map(Arc::new)
+                .map_err(|e| SubmitError::Invalid(format!("qasm: {e}"))),
+            CompileSource::Bench(name) => {
+                let benches = self.inner.benches.get_or_init(|| {
+                    reqisc_benchsuite::suite(reqisc_benchsuite::Scale::Demo)
+                        .into_iter()
+                        .map(|b| (b.name, Arc::new(b.circuit)))
+                        .collect()
+                });
+                benches
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| SubmitError::Invalid(format!("unknown bench program '{name}'")))
+            }
+        }
+    }
+
+    /// Submits one compile job (see the module docs for coalescing and
+    /// admission semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when admission control rejects.
+    pub fn submit_compile(
+        &self,
+        circuit: Arc<Circuit>,
+        pipeline: Pipeline,
+        priority: Priority,
+    ) -> Result<Ticket, SubmitError> {
+        let key = JobKey {
+            circuit: circuit.content_hash(),
+            pipeline,
+            options: self.inner.compiler.options_fingerprint(),
+        };
+        let (tx, rx) = mpsc::channel();
+        // The inflight lock spans the queue push so a worker finishing the
+        // job (which takes the same lock to collect waiters) can never
+        // interleave between "queued" and "registered".
+        let mut inflight = self.inner.inflight.lock().expect("inflight map poisoned");
+        if let Some(waiters) = inflight.get_mut(&key) {
+            waiters.push(tx);
+            // A more urgent duplicate must not wait at the original
+            // submission's priority: raise the queued job to match (a
+            // no-op if the job already runs or was queued hotter).
+            self.inner.queue.boost(
+                |job| matches!(job, Job::Compile { key: k, .. } if *k == key),
+                priority,
+            );
+            self.inner.counters.coalesced.fetch_add(1, Ordering::SeqCst);
+            self.inner.counters.submitted.fetch_add(1, Ordering::SeqCst);
+            return Ok(Ticket { rx, coalesced: true });
+        }
+        match self.inner.queue.try_push(Job::Compile { key, circuit, pipeline }, priority) {
+            Ok(()) => {
+                inflight.insert(key, vec![tx]);
+                self.inner.counters.submitted.fetch_add(1, Ordering::SeqCst);
+                Ok(Ticket { rx, coalesced: false })
+            }
+            Err(full) => {
+                self.inner.counters.rejected_queue_full.fetch_add(1, Ordering::SeqCst);
+                Err(SubmitError::QueueFull(full))
+            }
+        }
+    }
+
+    /// Submits a gated debug op (`sleep`/`panic`).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] unless the service was started with
+    /// `debug_ops`; [`SubmitError::QueueFull`] on admission rejection.
+    pub fn submit_debug(&self, op: DebugOp, priority: Priority) -> Result<Ticket, SubmitError> {
+        if !self.inner.debug_ops {
+            return Err(SubmitError::Invalid("debug ops are disabled".into()));
+        }
+        let (tx, rx) = mpsc::channel();
+        let job = match op {
+            DebugOp::Sleep { ms } => Job::Sleep { ms, tx },
+            DebugOp::Panic => Job::Panic { tx },
+        };
+        match self.inner.queue.try_push(job, priority) {
+            Ok(()) => {
+                self.inner.counters.submitted.fetch_add(1, Ordering::SeqCst);
+                Ok(Ticket { rx, coalesced: false })
+            }
+            Err(full) => {
+                self.inner.counters.rejected_queue_full.fetch_add(1, Ordering::SeqCst);
+                Err(SubmitError::QueueFull(full))
+            }
+        }
+    }
+
+    /// Metrics of a compiled circuit under the evaluation's XY coupling —
+    /// what compile responses report.
+    pub fn metrics(&self, c: &Circuit) -> reqisc_compiler::Metrics {
+        reqisc_compiler::metrics(c, &reqisc_microarch::Coupling::xy(1.0))
+    }
+
+    /// Snapshot of every counter the `stats` op reports.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let c = &self.inner.counters;
+        StatsSnapshot {
+            service: ServiceCounters {
+                submitted: c.submitted.load(Ordering::SeqCst),
+                completed: c.completed.load(Ordering::SeqCst),
+                failed: c.failed.load(Ordering::SeqCst),
+                coalesced: c.coalesced.load(Ordering::SeqCst),
+                rejected_queue_full: c.rejected_queue_full.load(Ordering::SeqCst),
+                snapshots: c.snapshots.load(Ordering::SeqCst),
+                queue_depth: self.inner.queue.len() as u64,
+            },
+            cache: self.inner.compiler.cache_stats(),
+            store: self.inner.store.as_ref().map(|s| s.stats()),
+        }
+    }
+
+    /// Jobs queued right now (admitted, not yet claimed by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.len()
+    }
+
+    /// Forces a store snapshot now (plain save, no GC).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors from the save.
+    pub fn snapshot_now(&self) -> std::io::Result<SnapshotReport> {
+        let Some(store) = &self.inner.store else {
+            return Ok(SnapshotReport::NoStore);
+        };
+        let _guard = self.inner.store_lock.lock().expect("store lock poisoned");
+        self.inner.counters.snapshots.fetch_add(1, Ordering::SeqCst);
+        let n = store.save(self.inner.compiler.cache())?;
+        Ok(SnapshotReport::Saved { entries: n })
+    }
+
+    /// Forces a compacting snapshot now. `max_idle_gens = None` uses the
+    /// configured default (or 0 — "keep only what this process
+    /// referenced" — when none was configured).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors from the rewrite.
+    pub fn compact_now(&self, max_idle_gens: Option<u64>) -> std::io::Result<SnapshotReport> {
+        let gens = max_idle_gens.or(self.inner.gc_max_idle_gens).unwrap_or(0);
+        self.inner.snapshot(Some(gens))
+    }
+
+    /// True once a protocol `shutdown` request has been accepted (the
+    /// transport accept loops poll this).
+    pub fn shutdown_requested(&self) -> bool {
+        self.inner.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Marks shutdown as requested (called by the protocol layer).
+    pub fn request_shutdown(&self) {
+        self.inner.shutdown_requested.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful shutdown: stop admitting, drain the queue, join every
+    /// worker and the snapshot timer, then flush the store. Idempotent.
+    pub fn shutdown(&self) {
+        if self.stopped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.request_shutdown();
+        self.inner.queue.close();
+        for h in self.workers.lock().expect("worker list poisoned").drain(..) {
+            let _ = h.join();
+        }
+        let (lock, cv) = &self.inner.timer_stop;
+        *lock.lock().expect("timer lock poisoned") = true;
+        cv.notify_all();
+        if let Some(h) = self.timer.lock().expect("timer handle poisoned").take() {
+            let _ = h.join();
+        }
+        if let Err(e) = self.inner.snapshot(None) {
+            eprintln!("# reqisc-service: shutdown store flush failed: {e}");
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The gated debug operations (see [`Service::submit_debug`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DebugOp {
+    /// Hold a worker for `ms` milliseconds.
+    Sleep {
+        /// Hold duration in milliseconds.
+        ms: u64,
+    },
+    /// Panic inside the worker (exercises per-job isolation).
+    Panic,
+}

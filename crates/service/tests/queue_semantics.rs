@@ -1,0 +1,277 @@
+//! Queue-semantics tests: in-flight coalescing (N identical jobs ⇒ one
+//! compile, N responses), backpressure rejection ordering, priority
+//! scheduling, graceful shutdown flushing the store, and a poisoned job
+//! not wedging the worker pool.
+//!
+//! Determinism on one worker: a debug `sleep` job parks the single
+//! worker first, so everything submitted behind it is ordered purely by
+//! the queue — no wall-clock races (single-core container: this is the
+//! validation style the ROADMAP prescribes instead of parallel timing).
+
+use proptest::prelude::*;
+use reqisc_compiler::{CacheStore, Compiler, LoadOutcome, Pipeline};
+use reqisc_qcircuit::{Circuit, Gate};
+use reqisc_service::{DebugOp, Service, ServiceConfig, SubmitError, DEFAULT_PRIORITY};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A compiler with the reduced-but-exact search budget the other
+/// integration suites use, around a shared pre-synthesized library.
+fn small_compiler() -> Compiler {
+    use std::sync::OnceLock;
+    static LIB: OnceLock<reqisc_synthesis::TemplateLibrary> = OnceLock::new();
+    let mut c = Compiler::new_with_library(
+        LIB.get_or_init(|| {
+            let mut search = reqisc_synthesis::SearchOptions::default();
+            search.sweep.restarts = 3;
+            reqisc_synthesis::TemplateLibrary::builtin(&search)
+        })
+        .clone(),
+    );
+    c.hs.search.sweep.restarts = 2;
+    c.hs.search.sweep.max_sweeps = 150;
+    c
+}
+
+fn tiny(seed: u64) -> Arc<Circuit> {
+    let mut c = Circuit::new(3);
+    c.push(Gate::Ccx(0, 1, 2));
+    c.push(Gate::H((seed % 3) as usize));
+    if seed.is_multiple_of(2) {
+        c.push(Gate::Cx(0, 2));
+    }
+    c.push(Gate::Rz(1, 0.1 + seed as f64));
+    Arc::new(c)
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "reqisc-service-test-{}-{}-{}",
+        std::process::id(),
+        tag,
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Parks the single worker on a sleep job and waits until it has left
+/// the queue (i.e. the worker picked it up).
+fn park_worker(service: &Service, ms: u64) -> reqisc_service::Ticket {
+    let t = service.submit_debug(DebugOp::Sleep { ms }, DEFAULT_PRIORITY).expect("park");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.queue_depth() > 0 {
+        assert!(Instant::now() < deadline, "worker never claimed the park job");
+        std::thread::yield_now();
+    }
+    t
+}
+
+#[test]
+fn n_identical_jobs_coalesce_to_one_compile_n_responses() {
+    let service = Service::start_with_compiler(
+        small_compiler(),
+        ServiceConfig { workers: 1, debug_ops: true, ..ServiceConfig::default() },
+    );
+    let park = park_worker(&service, 150);
+    let c = tiny(0);
+    let n = 5;
+    let tickets: Vec<_> = (0..n)
+        .map(|_| service.submit_compile(c.clone(), Pipeline::ReqiscEff, DEFAULT_PRIORITY).unwrap())
+        .collect();
+    // Exactly one occupies a queue slot; the rest attached in-flight.
+    assert_eq!(tickets.iter().filter(|t| !t.coalesced).count(), 1);
+    assert_eq!(tickets.iter().filter(|t| t.coalesced).count(), n - 1);
+    assert_eq!(service.queue_depth(), 1, "coalesced jobs must not occupy queue slots");
+    park.wait().expect("park");
+    let results: Vec<_> = tickets.into_iter().map(|t| t.wait().expect("compile")).collect();
+    let fp = results[0].circuit.as_ref().unwrap().content_hash();
+    assert!(
+        results.iter().all(|r| r.circuit.as_ref().unwrap().content_hash() == fp),
+        "all N responses must carry the one result"
+    );
+    let s = service.stats_snapshot();
+    assert_eq!(s.service.coalesced, (n - 1) as u64);
+    assert_eq!(s.service.completed, 2, "the park job + exactly ONE compile");
+    // The one compile was a cold miss; nobody else even looked the key up.
+    assert_eq!((s.cache.programs.hits, s.cache.programs.misses), (0, 1));
+    service.shutdown();
+}
+
+#[test]
+fn backpressure_rejects_late_submissions_and_recovers() {
+    let service = Service::start_with_compiler(
+        small_compiler(),
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 2,
+            debug_ops: true,
+            ..ServiceConfig::default()
+        },
+    );
+    let park = park_worker(&service, 150);
+    let t1 = service.submit_compile(tiny(1), Pipeline::Qiskit, DEFAULT_PRIORITY).expect("fits");
+    let t2 = service.submit_compile(tiny(2), Pipeline::Qiskit, DEFAULT_PRIORITY).expect("fits");
+    // Rejection ordering: capacity admits in submission order; the THIRD
+    // distinct job is the one turned away, and the earlier two are
+    // unaffected by the rejection.
+    let r3 = service.submit_compile(tiny(3), Pipeline::Qiskit, DEFAULT_PRIORITY);
+    assert!(matches!(r3, Err(SubmitError::QueueFull(_))), "third job must reject: {r3:?}");
+    // A duplicate of an in-flight job still coalesces — admission control
+    // applies to queue slots, not to attachments.
+    let dup = service.submit_compile(tiny(1), Pipeline::Qiskit, DEFAULT_PRIORITY).expect("coalesce");
+    assert!(dup.coalesced);
+    assert_eq!(service.stats_snapshot().service.rejected_queue_full, 1);
+    park.wait().expect("park");
+    assert!(t1.wait().is_ok() && t2.wait().is_ok() && dup.wait().is_ok());
+    // The queue drained: the same submission is now admitted and runs.
+    let t3 = service.submit_compile(tiny(3), Pipeline::Qiskit, DEFAULT_PRIORITY).expect("retry");
+    assert!(t3.wait().is_ok());
+    let s = service.stats_snapshot();
+    assert_eq!(s.service.rejected_queue_full, 1);
+    assert_eq!(s.service.failed, 0);
+    service.shutdown();
+}
+
+#[test]
+fn higher_priority_jobs_complete_first() {
+    let service = Service::start_with_compiler(
+        small_compiler(),
+        ServiceConfig { workers: 1, debug_ops: true, ..ServiceConfig::default() },
+    );
+    let park = park_worker(&service, 150);
+    let low = service.submit_compile(tiny(4), Pipeline::Qiskit, 0).expect("low");
+    let mid = service.submit_compile(tiny(5), Pipeline::Qiskit, 5).expect("mid");
+    let high = service.submit_compile(tiny(6), Pipeline::Qiskit, 9).expect("high");
+    park.wait().expect("park");
+    let (low, mid, high) =
+        (low.wait().expect("low"), mid.wait().expect("mid"), high.wait().expect("high"));
+    assert!(
+        high.done_seq < mid.done_seq && mid.done_seq < low.done_seq,
+        "completion order must follow priority: high {} mid {} low {}",
+        high.done_seq,
+        mid.done_seq,
+        low.done_seq
+    );
+    service.shutdown();
+}
+
+#[test]
+fn hot_duplicate_boosts_its_queued_original() {
+    let service = Service::start_with_compiler(
+        small_compiler(),
+        ServiceConfig { workers: 1, debug_ops: true, ..ServiceConfig::default() },
+    );
+    let park = park_worker(&service, 150);
+    // A cold batch job, then an unrelated mid-priority job ahead of it.
+    let batch = service.submit_compile(tiny(10), Pipeline::Qiskit, 0).expect("batch");
+    let mid = service.submit_compile(tiny(11), Pipeline::Qiskit, 5).expect("mid");
+    // An interactive duplicate of the batch job: coalesces AND raises the
+    // queued original, so the pair must now complete before `mid`.
+    let hot = service.submit_compile(tiny(10), Pipeline::Qiskit, 9).expect("hot dup");
+    assert!(hot.coalesced);
+    park.wait().expect("park");
+    let (batch, mid, hot) =
+        (batch.wait().expect("batch"), mid.wait().expect("mid"), hot.wait().expect("hot"));
+    assert_eq!(batch.done_seq, hot.done_seq, "one compile served both");
+    assert!(
+        hot.done_seq < mid.done_seq,
+        "boosted duplicate must overtake the mid-priority job: hot {} mid {}",
+        hot.done_seq,
+        mid.done_seq
+    );
+    service.shutdown();
+}
+
+#[test]
+fn poisoned_job_fails_cleanly_without_wedging_the_pool() {
+    let service = Service::start_with_compiler(
+        small_compiler(),
+        ServiceConfig { workers: 1, debug_ops: true, ..ServiceConfig::default() },
+    );
+    let poisoned = service.submit_debug(DebugOp::Panic, DEFAULT_PRIORITY).expect("submit");
+    let err = poisoned.wait().expect_err("the panic op must fail");
+    assert!(err.contains("panic"), "failure reason surfaced: {err}");
+    // The (single!) worker survived and serves the next job normally.
+    let ok = service
+        .submit_compile(tiny(7), Pipeline::Qiskit, DEFAULT_PRIORITY)
+        .expect("submit")
+        .wait()
+        .expect("the pool must survive a poisoned job");
+    assert!(ok.circuit.is_some());
+    let s = service.stats_snapshot();
+    assert_eq!((s.service.failed, s.service.completed), (1, 1));
+    service.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_queue_and_flushes_store() {
+    let dir = scratch_dir("shutdown-flush");
+    let service = Service::start_with_compiler(
+        small_compiler(),
+        ServiceConfig {
+            workers: 1,
+            cache_dir: Some(dir.clone()),
+            debug_ops: true,
+            ..ServiceConfig::default()
+        },
+    );
+    assert_eq!(service.startup_load(), Some(&LoadOutcome::Missing));
+    let park = park_worker(&service, 100);
+    // Still queued when shutdown starts: drain must finish it, not drop it.
+    let queued = service.submit_compile(tiny(8), Pipeline::Qiskit, DEFAULT_PRIORITY).unwrap();
+    service.shutdown();
+    park.wait().expect("park ran");
+    let done = queued.wait().expect("queued job must drain, not drop");
+    let fp = done.circuit.unwrap().content_hash();
+    // The store was flushed on shutdown and warms a fresh compiler.
+    let warm = small_compiler();
+    let outcome = CacheStore::new(&dir).load_into(warm.cache());
+    match outcome {
+        LoadOutcome::Loaded { programs, .. } => assert!(programs >= 1, "flushed programs"),
+        other => panic!("expected a flushed store, got {other:?}"),
+    }
+    let again = warm.compile(&tiny(8), Pipeline::Qiskit);
+    assert_eq!(again.content_hash(), fp, "flushed entry serves the identical result");
+    assert_eq!(warm.cache_stats().programs.hits, 1, "must be a pure disk-warm hit");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random job multisets: every response matches the reference
+    /// compiler bit-for-bit, and the coalescing/completion accounting
+    /// closes exactly (executed + coalesced = submitted).
+    #[test]
+    fn random_job_mixes_account_exactly(picks in proptest::collection::vec((0u64..3, 0usize..3), 1..12)) {
+        let service = Service::start_with_compiler(
+            small_compiler(),
+            ServiceConfig { workers: 1, debug_ops: true, ..ServiceConfig::default() },
+        );
+        let pipelines = [Pipeline::Qiskit, Pipeline::Tket, Pipeline::QiskitSu4];
+        let park = park_worker(&service, 100);
+        let tickets: Vec<_> = picks
+            .iter()
+            .map(|&(s, p)| service.submit_compile(tiny(s), pipelines[p], DEFAULT_PRIORITY).expect("submit"))
+            .collect();
+        park.wait().expect("park");
+        let reference = small_compiler();
+        for (t, &(s, p)) in tickets.into_iter().zip(&picks) {
+            let done = t.wait().expect("compile");
+            let expect = reference.compile(&tiny(s), pipelines[p]);
+            prop_assert_eq!(
+                done.circuit.unwrap().as_ref(),
+                &expect,
+                "service result diverged from direct compile"
+            );
+        }
+        let st = service.stats_snapshot().service;
+        prop_assert_eq!(st.submitted, picks.len() as u64 + 1, "every request admitted (+park)");
+        prop_assert_eq!(st.completed + st.coalesced, picks.len() as u64 + 1, "executed + attached = submitted");
+        prop_assert_eq!(st.failed, 0u64);
+        service.shutdown();
+    }
+}

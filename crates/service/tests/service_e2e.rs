@@ -1,0 +1,267 @@
+//! The end-to-end service acceptance test (stdio transport, everything
+//! in-process): ≥8 jobs including duplicates through a first service
+//! instance, disk-warm answers from a second instance sharing the cache
+//! dir, stats JSON round-tripping, and GC/compaction shrinking a store
+//! full of dead entries without changing any response fingerprint.
+
+use reqisc_compiler::Compiler;
+use reqisc_service::{serve_lines, Json, Service, ServiceConfig, StatsSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn small_compiler() -> Compiler {
+    use std::sync::OnceLock;
+    static LIB: OnceLock<reqisc_synthesis::TemplateLibrary> = OnceLock::new();
+    let mut c = Compiler::new_with_library(
+        LIB.get_or_init(|| {
+            let mut search = reqisc_synthesis::SearchOptions::default();
+            search.sweep.restarts = 3;
+            reqisc_synthesis::TemplateLibrary::builtin(&search)
+        })
+        .clone(),
+    );
+    c.hs.search.sweep.restarts = 2;
+    c.hs.search.sweep.max_sweeps = 150;
+    c
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "reqisc-e2e-{}-{}-{}",
+        std::process::id(),
+        tag,
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const P1: &str = "qubits 3\\nccx 0 1 2\\nh 0\\n";
+const P2: &str = "qubits 2\\ncx 0 1\\nrz 1 7.0e-1\\ncx 0 1\\n";
+const P3: &str = "qubits 3\\ncx 0 1\\ncx 1 2\\nh 2\\ncx 0 2\\n";
+
+/// The ≥8-job script: 8 compiles, two of them duplicates (ids 3 and 8
+/// duplicate ids 2 and 4). A leading debug sleep parks the single worker
+/// so the duplicates are *guaranteed* still in flight when they arrive.
+fn compile_script(with_park: bool) -> String {
+    let mut s = String::new();
+    if with_park {
+        s.push_str("{\"id\":1,\"op\":\"sleep\",\"ms\":150}\n");
+    }
+    s.push_str(&format!("{{\"id\":2,\"op\":\"compile\",\"pipeline\":\"reqisc-eff\",\"qasm\":\"{P1}\"}}\n"));
+    s.push_str(&format!("{{\"id\":3,\"op\":\"compile\",\"pipeline\":\"reqisc-eff\",\"qasm\":\"{P1}\"}}\n"));
+    s.push_str("{\"id\":4,\"op\":\"compile\",\"pipeline\":\"qiskit\",\"bench\":\"alu_v0\"}\n");
+    s.push_str(&format!("{{\"id\":5,\"op\":\"compile\",\"pipeline\":\"qiskit\",\"qasm\":\"{P2}\"}}\n"));
+    s.push_str(&format!("{{\"id\":6,\"op\":\"compile\",\"pipeline\":\"qiskit\",\"qasm\":\"{P1}\"}}\n"));
+    s.push_str(&format!("{{\"id\":7,\"op\":\"compile\",\"pipeline\":\"qiskit-su4\",\"qasm\":\"{P3}\"}}\n"));
+    s.push_str("{\"id\":8,\"op\":\"compile\",\"pipeline\":\"qiskit\",\"bench\":\"alu_v0\"}\n");
+    s.push_str(&format!("{{\"id\":9,\"op\":\"compile\",\"pipeline\":\"tket\",\"qasm\":\"{P2}\"}}\n"));
+    s.push_str("{\"id\":10,\"op\":\"stats\"}\n");
+    s
+}
+
+/// Runs a script through one in-process service instance and returns the
+/// responses by id (plus the raw stats member, if requested).
+fn run_instance(config: ServiceConfig, script: &str) -> BTreeMap<u64, Json> {
+    let service = Service::start_with_compiler(small_compiler(), config);
+    let mut out: Vec<u8> = Vec::new();
+    let outcome = serve_lines(&service, script.as_bytes(), &mut out).expect("serve");
+    assert_eq!(outcome.requests, script.lines().count() as u64);
+    service.shutdown();
+    String::from_utf8(out)
+        .expect("utf8")
+        .lines()
+        .map(|l| {
+            let v = Json::parse(l).expect("response parses");
+            (v.get("id").and_then(Json::as_u64).expect("id"), v)
+        })
+        .collect()
+}
+
+fn fingerprint(v: &Json) -> &str {
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "not ok: {}", v.emit());
+    v.get("fingerprint").and_then(Json::as_str).expect("fingerprint")
+}
+
+#[test]
+fn service_end_to_end_coalesce_diskwarm_stats_and_gc() {
+    let dir = scratch_dir("e2e");
+    let compile_ids: Vec<u64> = (2..=9).collect();
+
+    // ---- Instance 1: cold, with the park so duplicates coalesce. ----
+    let first = run_instance(
+        ServiceConfig {
+            workers: 1,
+            cache_dir: Some(dir.clone()),
+            debug_ops: true,
+            ..ServiceConfig::default()
+        },
+        &compile_script(true),
+    );
+    // (a) coalesced duplicates: ids 3/8 joined in-flight ids 2/4 and
+    // carry identical fingerprints.
+    for (dup, orig) in [(3u64, 2u64), (8, 4)] {
+        assert_eq!(first[&dup].get("coalesced").and_then(Json::as_bool), Some(true), "id {dup}");
+        assert_eq!(fingerprint(&first[&dup]), fingerprint(&first[&orig]));
+    }
+    let stats1 = StatsSnapshot::from_json(first[&10].get("stats").expect("stats member"))
+        .expect("stats parse");
+    assert_eq!(stats1.service.coalesced, 2);
+    assert_eq!(stats1.service.submitted, 9, "8 compiles + the park");
+    assert_eq!(stats1.service.completed, 7, "6 distinct compiles + the park");
+    assert_eq!(stats1.service.failed, 0);
+    assert_eq!(stats1.cache.programs.misses, 6, "one miss per distinct job");
+
+    // (c) the stats JSON round-trips every counter bit-for-bit.
+    let reparsed = StatsSnapshot::from_json(
+        &Json::parse(&stats1.to_json().emit()).expect("emit parses"),
+    )
+    .expect("round-trip");
+    assert_eq!(reparsed, stats1);
+
+    // ---- Instance 2: same cache dir, disk-warm. ----
+    let size_after_first = std::fs::metadata(dir.join("reqisc-cache.bin")).expect("store").len();
+    let second = run_instance(
+        ServiceConfig { workers: 1, cache_dir: Some(dir.clone()), ..ServiceConfig::default() },
+        &compile_script(false),
+    );
+    // (b) identical answers, ≥95% program-pool hits, zero rejected loads.
+    for &id in &compile_ids {
+        assert_eq!(fingerprint(&second[&id]), fingerprint(&first[&id]), "id {id} diverged");
+    }
+    let stats2 = StatsSnapshot::from_json(second[&10].get("stats").expect("stats member"))
+        .expect("stats parse");
+    let p = &stats2.cache.programs;
+    assert!(p.lookups() > 0, "second instance must consult the program pool");
+    assert!(
+        p.hit_rate() >= 0.95,
+        "disk-warm hit rate {:.1}% < 95% ({} hits / {} lookups)",
+        100.0 * p.hit_rate(),
+        p.hits,
+        p.lookups()
+    );
+    let store2 = stats2.store.expect("instance 2 has a store");
+    assert_eq!(store2.rejected, 0, "no rejected store loads");
+    assert!(store2.loaded_entries > 0, "instance 2 warm-started from disk");
+
+    // ---- Instance 3: touch only a subset, then GC. Everything the
+    // subset does not reference is dead weight and must be dropped. ----
+    let mut subset = String::new();
+    subset.push_str(&format!(
+        "{{\"id\":2,\"op\":\"compile\",\"pipeline\":\"reqisc-eff\",\"qasm\":\"{P1}\"}}\n"
+    ));
+    subset.push_str("{\"id\":4,\"op\":\"compile\",\"pipeline\":\"qiskit\",\"bench\":\"alu_v0\"}\n");
+    subset.push_str("{\"id\":11,\"op\":\"compact\",\"max_idle_gens\":0}\n");
+    let third = run_instance(
+        ServiceConfig { workers: 1, cache_dir: Some(dir.clone()), ..ServiceConfig::default() },
+        &subset,
+    );
+    for id in [2u64, 4] {
+        assert_eq!(fingerprint(&third[&id]), fingerprint(&first[&id]), "id {id} diverged");
+    }
+    let compacted = &third[&11];
+    assert_eq!(compacted.get("ok").and_then(Json::as_bool), Some(true), "{}", compacted.emit());
+    let dropped = compacted.get("dropped").and_then(Json::as_u64).expect("dropped");
+    let kept = compacted.get("kept").and_then(Json::as_u64).expect("kept");
+    assert!(dropped > 0, "the untouched entries were dead and must drop");
+    assert!(kept >= 2, "the referenced subset survives");
+    // (d) the file physically shrank…
+    let size_after_gc = std::fs::metadata(dir.join("reqisc-cache.bin")).expect("store").len();
+    assert!(
+        size_after_gc < size_after_first,
+        "compaction must shrink the store: {size_after_first} -> {size_after_gc}"
+    );
+
+    // …and no response fingerprint changes: a fourth instance re-answers
+    // the full set (dropped entries recompile deterministically, kept
+    // ones serve from disk).
+    let fourth = run_instance(
+        ServiceConfig { workers: 1, cache_dir: Some(dir.clone()), ..ServiceConfig::default() },
+        &compile_script(false),
+    );
+    for &id in &compile_ids {
+        assert_eq!(
+            fingerprint(&fourth[&id]),
+            fingerprint(&first[&id]),
+            "id {id} changed after GC"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn socket_shutdown_completes_despite_an_idle_connection() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    let sock = std::env::temp_dir().join(format!("reqisc-e2e-idle-{}.sock", std::process::id()));
+    let service = Service::start_with_compiler(
+        small_compiler(),
+        ServiceConfig { workers: 1, ..ServiceConfig::default() },
+    );
+    let served = std::thread::scope(|scope| {
+        let service = &service;
+        let sock_path = sock.clone();
+        let server = scope.spawn(move || reqisc_service::serve_unix(service, &sock_path));
+        // Wait for the socket to exist, then park an IDLE client on it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let idle = loop {
+            match UnixStream::connect(&sock) {
+                Ok(s) => break s,
+                Err(_) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(std::time::Duration::from_millis(10))
+                }
+                Err(e) => panic!("socket never came up: {e}"),
+            }
+        };
+        // A second client asks for shutdown; the accept loop must return
+        // even though the idle connection never speaks or hangs up.
+        let active = UnixStream::connect(&sock).expect("connect");
+        writeln!(&active, "{{\"id\":1,\"op\":\"shutdown\"}}").expect("write");
+        let mut resp = String::new();
+        BufReader::new(&active).read_line(&mut resp).expect("ack");
+        assert!(resp.contains("\"ok\":true"), "shutdown ack: {resp}");
+        let served = server.join().expect("server thread");
+        drop(idle);
+        served
+    });
+    served.expect("serve_unix must return cleanly");
+    service.shutdown();
+}
+
+#[test]
+fn protocol_errors_are_responses_not_failures() {
+    let service = Service::start_with_compiler(
+        small_compiler(),
+        ServiceConfig { workers: 1, ..ServiceConfig::default() },
+    );
+    let script = concat!(
+        "not json at all\n",
+        "{\"id\":1,\"op\":\"compile\",\"pipeline\":\"nope\",\"bench\":\"alu_v0\"}\n",
+        "{\"id\":2,\"op\":\"compile\",\"pipeline\":\"qiskit\",\"bench\":\"no_such_program\"}\n",
+        "{\"id\":3,\"op\":\"compile\",\"pipeline\":\"qiskit\",\"qasm\":\"qubits 99\\ncx 0 1\\n\"}\n",
+        "{\"id\":4,\"op\":\"sleep\",\"ms\":1}\n", // debug ops disabled here
+        "{\"id\":5,\"op\":\"snapshot\"}\n",       // no store configured
+        "{\"id\":6,\"op\":\"compile\",\"pipeline\":\"qiskit\",\"qasm\":\"qubits 2\\ncx 0 1\\n\"}\n",
+    );
+    let mut out: Vec<u8> = Vec::new();
+    serve_lines(&service, script.as_bytes(), &mut out).expect("serve");
+    service.shutdown();
+    let lines: Vec<Json> = String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| Json::parse(l).expect("parses"))
+        .collect();
+    assert_eq!(lines.len(), 7, "every line gets a response");
+    let code = |i: usize| lines[i].get("error").and_then(Json::as_str).unwrap_or("").to_string();
+    assert_eq!(code(0), "parse_error");
+    assert_eq!(code(1), "parse_error", "unknown pipeline is caught at parse");
+    assert_eq!(code(2), "bad_request");
+    assert_eq!(code(3), "bad_request", "over-limit qasm rejected at the boundary");
+    assert_eq!(code(4), "bad_request", "debug ops gated off");
+    assert_eq!(code(5), "no_store");
+    // The good request still went through on the same connection.
+    assert_eq!(lines[6].get("ok").and_then(Json::as_bool), Some(true));
+    assert!(lines[6].get("fingerprint").is_some());
+}

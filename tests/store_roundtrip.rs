@@ -227,6 +227,74 @@ fn concurrent_saves_into_shared_dir_never_tear() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn compaction_ages_out_unreferenced_entries_and_preserves_results() {
+    let dir = scratch_dir("compact");
+    let p1 = toffoli_chain();
+    let p2 = {
+        let mut c = reqisc::qcircuit::Circuit::new(3);
+        c.push(reqisc::qcircuit::Gate::Ccx(0, 1, 2));
+        c.push(reqisc::qcircuit::Gate::H(1));
+        c
+    };
+    // Process 1: compile both, save (generation 1, everything referenced).
+    let a = small_compiler();
+    let out1 = a.compile(&p1, Pipeline::ReqiscEff);
+    let out2 = a.compile(&p2, Pipeline::Qiskit);
+    let store_a = CacheStore::new(&dir);
+    let n_full = store_a.save(a.cache()).expect("save");
+    let size_full = std::fs::metadata(store_a.path()).expect("meta").len();
+
+    // A plain save never GCs: a process that loads and uses *nothing*
+    // still re-persists every entry (they only age).
+    let idle = small_compiler();
+    let store_idle = CacheStore::new(&dir);
+    assert!(matches!(store_idle.load_into(idle.cache()), LoadOutcome::Loaded { .. }));
+    assert_eq!(store_idle.save(idle.cache()).expect("idle save"), n_full, "saves only age, never drop");
+
+    // Likewise a compaction whose idle window covers the whole history.
+    let lax = small_compiler();
+    let store_lax = CacheStore::new(&dir);
+    store_lax.load_into(lax.cache());
+    let o = store_lax.compact(lax.cache(), 10).expect("lax compact");
+    assert_eq!((o.kept, o.dropped), (n_full, 0), "everything is within the idle window");
+
+    // Process 2: load, reference only p1's pipeline entry, compact with a
+    // zero idle window — everything unreferenced is dead and must drop.
+    let b = small_compiler();
+    let store_b = CacheStore::new(&dir);
+    assert!(matches!(store_b.load_into(b.cache()), LoadOutcome::Loaded { .. }));
+    let warm1 = b.compile(&p1, Pipeline::ReqiscEff);
+    assert_eq!(warm1, out1);
+    let o = store_b.compact(b.cache(), 0).expect("compact");
+    assert!(o.dropped >= 1, "unreferenced entries must drop: {o:?}");
+    assert!(o.kept >= 1 && o.kept + o.dropped == n_full);
+    let s = store_b.stats();
+    assert_eq!((s.compactions, s.gc_dropped), (1, o.dropped as u64));
+    let size_gc = std::fs::metadata(store_b.path()).expect("meta").len();
+    assert!(size_gc < size_full, "compaction must shrink the file: {size_full} -> {size_gc}");
+
+    // The in-memory cache was purged too: p2 recompiles (a fresh miss),
+    // bit-identically — GC changes cost, never results.
+    let misses_before = b.cache_stats().programs.misses;
+    let again2 = b.compile(&p2, Pipeline::Qiskit);
+    assert_eq!(again2, out2, "recomputed result must be identical");
+    assert_eq!(
+        b.cache_stats().programs.misses,
+        misses_before + 1,
+        "the compacted entry must be gone from memory (no resurrect-from-RAM)"
+    );
+
+    // Process 3: the compacted store still warm-serves what it kept.
+    let c = small_compiler();
+    let store_c = CacheStore::new(&dir);
+    assert!(matches!(store_c.load_into(c.cache()), LoadOutcome::Loaded { .. }));
+    assert_eq!(c.compile(&p1, Pipeline::ReqiscEff), out1);
+    assert_eq!(c.cache_stats().programs.hits, 1, "kept entry is a pure hit");
+    assert_eq!(c.compile(&p2, Pipeline::Qiskit), out2, "dropped entry recomputes identically");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
