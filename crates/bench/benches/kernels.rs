@@ -6,9 +6,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use reqisc_compiler::{route, RouteOptions, Router, Topology};
-use reqisc_microarch::{optimal_duration, solve_pulse, Coupling};
+use reqisc_microarch::{optimal_duration, solve_ea, solve_pulse, Coupling, EaSign};
 use reqisc_qcircuit::{Circuit, Gate};
-use reqisc_qmath::{expm_i_hermitian, haar_su4, kak_decompose, weyl_coords, WeylCoord};
+use reqisc_qmath::{expm_i_hermitian, haar_su4, kak_decompose, local_invariant_trace, weyl_coords, WeylCoord};
 use reqisc_synthesis::{instantiate, SweepOptions};
 use std::hint::black_box;
 
@@ -57,7 +57,35 @@ fn bench_pulse_solve(c: &mut Criterion) {
     g.bench_function("swap_under_xx", |b| {
         b.iter(|| black_box(solve_pulse(&xx, &WeylCoord::swap()).unwrap()))
     });
+    // The frontier-marginal sliver row: the cold path the boundary-curve
+    // solver exists for (one 1-D boundary scan instead of grid tiers).
+    g.bench_function("sliver_row_eps_1e5", |b| {
+        let w = WeylCoord::new(0.7, 1e-5, 0.0);
+        let tau = optimal_duration(&w, &xx).tau;
+        b.iter(|| black_box(solve_ea(&xx, EaSign::Minus, &w, tau, 1e-8).len()))
+    });
+    // A generic transversal interior root under an anisotropic coupling.
+    g.bench_function("interior_root_aniso", |b| {
+        let cp = Coupling::new(1.0, 0.6, 0.2);
+        let w = WeylCoord::new(0.5, 0.3, 0.2);
+        let tau = optimal_duration(&w, &cp).tau;
+        b.iter(|| black_box(solve_ea(&cp, EaSign::Minus, &w, tau, 1e-8).len()))
+    });
     g.finish();
+}
+
+fn bench_invariant_trace(c: &mut Criterion) {
+    // The boundary-curve solver's inner kernel: one trace evaluation per
+    // probe point (vs a full KAK decomposition in the grid solver).
+    let mut rng = StdRng::seed_from_u64(7);
+    let us: Vec<_> = (0..32).map(|_| haar_su4(&mut rng)).collect();
+    let mut i = 0;
+    c.bench_function("local_invariant_trace", |b| {
+        b.iter(|| {
+            i = (i + 1) % us.len();
+            black_box(local_invariant_trace(&us[i]))
+        })
+    });
 }
 
 fn bench_synthesis_sweep(c: &mut Criterion) {
@@ -110,6 +138,7 @@ criterion_group!(
     bench_expm,
     bench_duration,
     bench_pulse_solve,
+    bench_invariant_trace,
     bench_synthesis_sweep,
     bench_routing
 );

@@ -24,7 +24,7 @@
 //! identity — not bit identity — is the paper's §5.3.1 calibration
 //! contract.
 
-use reqisc_microarch::cache::{CacheStats, PulseCache, ShardedMap};
+use reqisc_microarch::cache::{CacheStats, PulseCache, ShardedMap, SolverStats};
 use reqisc_qcircuit::Circuit;
 use reqisc_qmath::{CMat, Fnv128};
 use reqisc_synthesis::{synthesize_if_shorter, BlockCircuit, SearchOptions};
@@ -66,6 +66,9 @@ pub struct CompileCacheStats {
     pub synthesis: CacheStats,
     /// Pulse-solution pool.
     pub pulses: CacheStats,
+    /// Cold-path EA-solver counters behind the pulse pool's misses (the
+    /// boundary-curve solver's deterministic cost profile, aggregated).
+    pub solver: SolverStats,
 }
 
 impl CompileCacheStats {
@@ -79,8 +82,8 @@ impl std::fmt::Display for CompileCacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "programs: {}\nsynthesis: {}\npulses: {}",
-            self.programs, self.synthesis, self.pulses
+            "programs: {}\nsynthesis: {}\npulses: {}\nsolver: {}",
+            self.programs, self.synthesis, self.pulses, self.solver
         )
     }
 }
@@ -210,6 +213,7 @@ impl CompileCache {
             programs: self.programs.stats(),
             synthesis: self.synthesis.stats(),
             pulses: self.pulses.stats(),
+            solver: self.pulses.solver_stats(),
         }
     }
 

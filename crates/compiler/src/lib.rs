@@ -37,7 +37,7 @@ pub mod topology;
 pub mod variational;
 
 pub use cache::{CompileCache, CompileCacheStats};
-pub use reqisc_microarch::cache::CacheStats;
+pub use reqisc_microarch::cache::{CacheStats, SolverStats};
 pub use cnot_opt::{merge_pauli_rotations, qiskit_like, resynthesize_to_cx, tket_like};
 pub use compact::{compact, gates_commute, CompactOptions};
 pub use fuse::fuse_2q;

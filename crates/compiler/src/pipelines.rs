@@ -176,6 +176,14 @@ impl Compiler {
         self.cache.stats()
     }
 
+    /// Cold-path solver counters behind the pulse pool: how much
+    /// boundary-curve work the EA solver did across every class miss this
+    /// compiler served. Deterministic (no wall clocks), so benches and CI
+    /// can assert budgets on it directly.
+    pub fn solver_stats(&self) -> reqisc_microarch::SolverStats {
+        self.cache.pulses().solver_stats()
+    }
+
     /// Runs one pipeline on a program, memoizing through the shared
     /// cache: a repeat compile of the same program bits under the same
     /// pipeline and options returns the cached circuit. (The one clone

@@ -14,8 +14,8 @@
 
 use crate::coupling::Coupling;
 use crate::duration::Image;
-use crate::scheme::{solve_pulse, PulseSolution, SolveError, Subscheme};
-use crate::solver::{evolve, PulseParams};
+use crate::scheme::{solve_pulse_profiled, PulseSolution, SolveError, Subscheme};
+use crate::solver::{evolve, EaSolveProfile, PulseParams};
 use reqisc_qmath::weyl::WeylCoord;
 use reqisc_qmath::{kak_decompose, CMat, Kak, WeylClassKey, SU4_CLASS_TOL};
 use std::collections::hash_map::DefaultHasher;
@@ -115,6 +115,131 @@ impl Counters {
         let misses = self.misses.load(Ordering::SeqCst);
         let hits = self.hits.load(Ordering::SeqCst);
         CacheStats { hits, misses, inserts, evictions }
+    }
+}
+
+/// Aggregated cold-path solver counters of one [`PulseCache`] — every
+/// class miss runs the boundary-curve EA solver, and its deterministic
+/// [`EaSolveProfile`] is accumulated here. This is what the compile
+/// pipeline surfaces alongside the pool hit/miss counters, so "where do
+/// cold compiles spend their time" is answerable from `stats` output
+/// without a profiler (and assertable in CI without wall clocks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Cold class solves attempted (cache misses reaching the solver).
+    pub solves: u64,
+    /// Solves whose pulse could not be found (propagated as errors).
+    pub failures: u64,
+    /// Cheap invariant-trace evaluations (the grid solver's "seeds").
+    pub evals: u64,
+    /// Full Weyl-residual verifications (one KAK each).
+    pub verifies: u64,
+    /// Matched-eigenphase curve points located.
+    pub curve_points: u64,
+    /// Local polish starts (Newton or Nelder–Mead).
+    pub newton_starts: u64,
+    /// Local polish iterations.
+    pub newton_iters: u64,
+    /// Boundary-family roots (pure-detuning + pure-amplitude).
+    pub boundary_roots: u64,
+    /// Interior curve-walk roots.
+    pub interior_roots: u64,
+    /// Subscheme attempts rejected for free by the conserved-eigenphase
+    /// precheck.
+    pub early_rejects: u64,
+    /// Attempts that took the degenerate (tangential-root) path.
+    pub degenerate_targets: u64,
+}
+
+impl SolverStats {
+    /// Component-wise sum — for aggregating caches.
+    pub fn merged(&self, other: &SolverStats) -> SolverStats {
+        SolverStats {
+            solves: self.solves + other.solves,
+            failures: self.failures + other.failures,
+            evals: self.evals + other.evals,
+            verifies: self.verifies + other.verifies,
+            curve_points: self.curve_points + other.curve_points,
+            newton_starts: self.newton_starts + other.newton_starts,
+            newton_iters: self.newton_iters + other.newton_iters,
+            boundary_roots: self.boundary_roots + other.boundary_roots,
+            interior_roots: self.interior_roots + other.interior_roots,
+            early_rejects: self.early_rejects + other.early_rejects,
+            degenerate_targets: self.degenerate_targets + other.degenerate_targets,
+        }
+    }
+}
+
+impl std::fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} solves ({} failed), {} evals, {} verifies, {} newton starts / {} iters, \
+             {} boundary + {} interior roots, {} early rejects",
+            self.solves,
+            self.failures,
+            self.evals,
+            self.verifies,
+            self.newton_starts,
+            self.newton_iters,
+            self.boundary_roots,
+            self.interior_roots,
+            self.early_rejects
+        )
+    }
+}
+
+/// Atomic accumulator behind [`SolverStats`] (relaxed ordering is fine:
+/// the counters are statistics, not synchronization).
+#[derive(Debug, Default)]
+struct SolverCounters {
+    solves: AtomicU64,
+    failures: AtomicU64,
+    evals: AtomicU64,
+    verifies: AtomicU64,
+    curve_points: AtomicU64,
+    newton_starts: AtomicU64,
+    newton_iters: AtomicU64,
+    boundary_roots: AtomicU64,
+    interior_roots: AtomicU64,
+    early_rejects: AtomicU64,
+    degenerate_targets: AtomicU64,
+}
+
+impl SolverCounters {
+    fn record(&self, profile: &EaSolveProfile, failed: bool) {
+        use Ordering::Relaxed;
+        self.solves.fetch_add(1, Relaxed);
+        if failed {
+            self.failures.fetch_add(1, Relaxed);
+        }
+        self.evals.fetch_add(profile.evals, Relaxed);
+        self.verifies.fetch_add(profile.verifies, Relaxed);
+        self.curve_points.fetch_add(profile.curve_points, Relaxed);
+        self.newton_starts.fetch_add(profile.newton_starts, Relaxed);
+        self.newton_iters.fetch_add(profile.newton_iters, Relaxed);
+        self.boundary_roots
+            .fetch_add(profile.delta_family_roots + profile.omega_family_roots, Relaxed);
+        self.interior_roots.fetch_add(profile.interior_roots, Relaxed);
+        self.early_rejects.fetch_add(profile.early_rejects, Relaxed);
+        self.degenerate_targets.fetch_add(profile.degenerate_targets, Relaxed);
+    }
+
+    fn snapshot(&self) -> SolverStats {
+        use Ordering::Relaxed;
+        SolverStats {
+            solves: self.solves.load(Relaxed),
+            failures: self.failures.load(Relaxed),
+            evals: self.evals.load(Relaxed),
+            verifies: self.verifies.load(Relaxed),
+            curve_points: self.curve_points.load(Relaxed),
+            newton_starts: self.newton_starts.load(Relaxed),
+            newton_iters: self.newton_iters.load(Relaxed),
+            boundary_roots: self.boundary_roots.load(Relaxed),
+            interior_roots: self.interior_roots.load(Relaxed),
+            early_rejects: self.early_rejects.load(Relaxed),
+            degenerate_targets: self.degenerate_targets.load(Relaxed),
+        }
     }
 }
 
@@ -335,6 +460,7 @@ struct PulseKey {
 #[derive(Debug, Default)]
 pub struct PulseCache {
     map: ShardedMap<PulseKey, Arc<SolvedClass>>,
+    solver: SolverCounters,
 }
 
 impl PulseCache {
@@ -350,7 +476,10 @@ impl PulseCache {
     ///
     /// Panics if `shards` or `shard_capacity` is zero.
     pub fn with_shape(shards: usize, shard_capacity: usize) -> Self {
-        Self { map: ShardedMap::with_shape(shards, shard_capacity) }
+        Self {
+            map: ShardedMap::with_shape(shards, shard_capacity),
+            solver: SolverCounters::default(),
+        }
     }
 
     fn key(cp: &Coupling, w: &WeylCoord) -> PulseKey {
@@ -370,7 +499,9 @@ impl PulseCache {
         if let Some(entry) = self.map.get(&key) {
             return Ok(entry);
         }
-        let pulse = solve_pulse(cp, w)?;
+        let (solved, profile) = solve_pulse_profiled(cp, w);
+        self.solver.record(&profile, solved.is_err());
+        let pulse = solved?;
         let evo = evolve(cp, &pulse.params, pulse.tau);
         let evo_kak =
             kak_decompose(&evo).map_err(|e| SolveError { message: e.to_string() })?;
@@ -471,6 +602,12 @@ impl PulseCache {
     /// Counter snapshot of the class memo table.
     pub fn stats(&self) -> CacheStats {
         self.map.stats()
+    }
+
+    /// Aggregated cold-path solver counters (every miss-triggered solve's
+    /// deterministic [`EaSolveProfile`], summed).
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver.snapshot()
     }
 
     /// Drops every memoized class (counters survive).

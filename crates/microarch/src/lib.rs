@@ -36,11 +36,12 @@ pub use duration::{
     conventional_cnot_duration, conventional_duration_xy, duration_in_g, optimal_duration,
     Duration, FrontierTimes, Image,
 };
+pub use cache::SolverStats;
 pub use scheme::{
-    realize_gate, solve_pulse, solve_with_mirroring, GateRealization, MirroredSolution,
-    PulseSolution, SolveError, Subscheme, DEFAULT_MIRROR_THRESHOLD,
+    realize_gate, solve_pulse, solve_pulse_profiled, solve_with_mirroring, GateRealization,
+    MirroredSolution, PulseSolution, SolveError, Subscheme, DEFAULT_MIRROR_THRESHOLD,
 };
 pub use solver::{
-    ea_params, evolve, residual, sinc, sinc_inverse, solve_ea, solve_nd, EaSign, EaSolution,
-    PulseParams,
+    ea_params, ea_params_checked, evolve, residual, sinc, sinc_inverse, solve_ea,
+    solve_ea_profiled, solve_nd, EaSign, EaSolution, EaSolveProfile, PulseParams,
 };

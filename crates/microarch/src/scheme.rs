@@ -14,7 +14,7 @@
 
 use crate::coupling::Coupling;
 use crate::duration::{optimal_duration, Duration, Image};
-use crate::solver::{evolve, residual, solve_ea, solve_nd, EaSign, PulseParams};
+use crate::solver::{evolve, residual, solve_ea_profiled, solve_nd, EaSign, EaSolveProfile, PulseParams};
 use reqisc_qmath::weyl::WeylCoord;
 use reqisc_qmath::{kak_decompose, weyl_coords, CMat, C64};
 
@@ -77,22 +77,43 @@ impl std::error::Error for SolveError {}
 /// requested tolerance (which would indicate coordinates at a control
 /// singularity — e.g. deep near-identity gates).
 pub fn solve_pulse(cp: &Coupling, w: &WeylCoord) -> Result<PulseSolution, SolveError> {
+    solve_pulse_profiled(cp, w).0
+}
+
+/// [`solve_pulse`] plus the accumulated EA-solver cost profile of every
+/// subscheme attempt — the cold-path observability hook the pulse cache
+/// aggregates into its solver counters. Wrong-subscheme fallback attempts
+/// show up as `early_rejects` profiles costing zero evaluations (the
+/// conserved-eigenphase precheck). The profile rides *outside* the
+/// `Result` so failed solves — the most expensive cold path of all, every
+/// subscheme burning its full budget — report their true cost instead of
+/// a zeroed profile.
+pub fn solve_pulse_profiled(
+    cp: &Coupling,
+    w: &WeylCoord,
+) -> (Result<PulseSolution, SolveError>, EaSolveProfile) {
     let tol = 1e-8;
     if !w.in_chamber() {
-        return Err(SolveError { message: format!("coordinates {w} not canonical") });
+        return (
+            Err(SolveError { message: format!("coordinates {w} not canonical") }),
+            EaSolveProfile::default(),
+        );
     }
     let dur: Duration = optimal_duration(w, cp);
     let tau = dur.tau;
     if tau <= 1e-14 {
         // Identity class: no pulse at all.
-        return Ok(PulseSolution {
-            tau: 0.0,
-            params: PulseParams { omega1: 0.0, omega2: 0.0, delta: 0.0 },
-            subscheme: Subscheme::Nd,
-            image: Image::Direct,
-            target: *w,
-            residual: 0.0,
-        });
+        return (
+            Ok(PulseSolution {
+                tau: 0.0,
+                params: PulseParams { omega1: 0.0, omega2: 0.0, delta: 0.0 },
+                subscheme: Subscheme::Nd,
+                image: Image::Direct,
+                target: *w,
+                residual: 0.0,
+            }),
+            EaSolveProfile::default(),
+        );
     }
     let eff = dur.effective;
     let ft = dur.frontier;
@@ -105,7 +126,8 @@ pub fn solve_pulse(cp: &Coupling, w: &WeylCoord) -> Result<PulseSolution, SolveE
     } else {
         Subscheme::EaPlus
     };
-    let attempt = |sub: Subscheme| -> Option<(Subscheme, PulseParams, f64)> {
+    let mut profile = EaSolveProfile::default();
+    let mut attempt = |sub: Subscheme| -> Option<(Subscheme, PulseParams, f64)> {
         match sub {
             Subscheme::Nd => {
                 if (eff.x - cp.a * tau).abs() > 1e-9 {
@@ -113,14 +135,17 @@ pub fn solve_pulse(cp: &Coupling, w: &WeylCoord) -> Result<PulseSolution, SolveE
                 }
                 let p = solve_nd(cp, &eff, tau);
                 let r = residual(cp, &p, tau, w);
+                profile.verifies += 1;
                 (r < tol).then_some((sub, p, r))
             }
             Subscheme::EaPlus => {
-                let sols = solve_ea(cp, EaSign::Plus, w, tau, tol);
+                let (sols, pr) = solve_ea_profiled(cp, EaSign::Plus, w, tau, tol);
+                profile = profile.merged(&pr);
                 sols.first().map(|s| (sub, s.params, s.residual))
             }
             Subscheme::EaMinus => {
-                let sols = solve_ea(cp, EaSign::Minus, w, tau, tol);
+                let (sols, pr) = solve_ea_profiled(cp, EaSign::Minus, w, tau, tol);
+                profile = profile.merged(&pr);
                 sols.first().map(|s| (sub, s.params, s.residual))
             }
         }
@@ -134,19 +159,28 @@ pub fn solve_pulse(cp: &Coupling, w: &WeylCoord) -> Result<PulseSolution, SolveE
     };
     for s in order {
         if let Some((sub, params, r)) = attempt(s) {
-            return Ok(PulseSolution {
-                tau,
-                params,
-                subscheme: sub,
-                image: dur.image,
-                target: *w,
-                residual: r,
-            });
+            return (
+                Ok(PulseSolution {
+                    tau,
+                    params,
+                    subscheme: sub,
+                    image: dur.image,
+                    target: *w,
+                    residual: r,
+                }),
+                profile,
+            );
         }
     }
-    Err(SolveError {
-        message: format!("no subscheme converged for {w} under ({}, {}, {})", cp.a, cp.b, cp.c),
-    })
+    (
+        Err(SolveError {
+            message: format!(
+                "no subscheme converged for {w} under ({}, {}, {})",
+                cp.a, cp.b, cp.c
+            ),
+        }),
+        profile,
+    )
 }
 
 /// Output of the compiler-facing solve: the pulse plus the mirroring

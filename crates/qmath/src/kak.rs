@@ -184,6 +184,32 @@ pub fn weyl_coords(u: &CMat) -> Result<WeylCoord, KakError> {
     kak_decompose(u).map(|k| k.coords)
 }
 
+/// The local-equivalence trace invariant `tr(U_m · U_mᵀ)` of a two-qubit
+/// unitary, where `U_m` is `u` in the magic basis.
+///
+/// The eigenvalues of `M = U_m U_mᵀ` are the squared magic eigenphases
+/// `e^{2iφ_k}`; for `det u = 1` their multiset *characterizes* the local
+/// equivalence class (Makhlin), and because `M` is unitary with fixed
+/// determinant, the full multiset is already pinned by this single complex
+/// trace once one eigenvalue is known. That makes the trace the cheapest
+/// smooth local-equivalence residual available — no eigendecomposition, no
+/// chamber canonicalization, no branch folds — which is exactly what the
+/// EA boundary-curve solver in `reqisc-microarch` needs: compare against
+/// [`crate::weyl::WeylCoord::local_invariant_trace`] of the target.
+///
+/// Cost: one basis conjugation plus a sum of squared entries (`tr(A·Aᵀ) =
+/// Σ_{ij} A_{ij}²`, no conjugation).
+pub fn local_invariant_trace(u: &CMat) -> C64 {
+    let m = crate::magic::to_magic(u);
+    let mut s = C64::real(0.0);
+    for i in 0..4 {
+        for j in 0..4 {
+            s += m[(i, j)] * m[(i, j)];
+        }
+    }
+    s
+}
+
 /// True when two 4×4 unitaries are locally equivalent (same Weyl point).
 ///
 /// # Errors

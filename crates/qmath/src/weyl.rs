@@ -128,6 +128,37 @@ impl WeylCoord {
         Self::new(std::f64::consts::FRAC_PI_2 - self.x, self.y, -self.z)
     }
 
+    /// The four magic-basis eigenphases `φ_k` of `Can(x, y, z)`, ordered
+    /// by Bell state as `[Φ⁺, Φ⁻, Ψ⁺, Ψ⁻]`:
+    ///
+    /// ```text
+    /// φ(Φ⁺) = −(x − y + z)    φ(Φ⁻) = −(−x + y + z)
+    /// φ(Ψ⁺) = −(x + y − z)    φ(Ψ⁻) = +(x + y + z)
+    /// ```
+    ///
+    /// The *squared* phases `2φ_k` are the eigenphases of `U_m·U_mᵀ`
+    /// (see [`crate::kak::local_invariant_trace`]); each maps to one
+    /// linear combination of the coordinates because the Bell states
+    /// diagonalize `XX`, `YY`, and `ZZ` simultaneously. The EA solver's
+    /// boundary curves are level sets of these phases.
+    pub fn magic_eigenphases(&self) -> [f64; 4] {
+        let Self { x, y, z } = *self;
+        [-(x - y + z), -(-x + y + z), -(x + y - z), x + y + z]
+    }
+
+    /// Target-side counterpart of [`crate::kak::local_invariant_trace`]:
+    /// `Σ_k e^{2iφ_k}` over [`WeylCoord::magic_eigenphases`]. A two-qubit
+    /// unitary is locally equivalent to `Can(x, y, z)` exactly when its
+    /// trace invariant equals this value *and* one eigenvalue is pinned
+    /// (the EA subschemes pin one Bell phase by construction).
+    pub fn local_invariant_trace(&self) -> crate::c64::C64 {
+        let mut s = crate::c64::C64::real(0.0);
+        for p in self.magic_eigenphases() {
+            s += crate::c64::C64::cis(2.0 * p);
+        }
+        s
+    }
+
     /// Hashable *class key*: the coordinates quantized to `tol`-sized
     /// buckets. Gates whose coordinates agree within `tol` — the same
     /// SU(4) instruction under the paper's §5.3.1 grouping — usually share

@@ -35,7 +35,7 @@
 
 use crate::json::Json;
 use crate::queue::{Priority, DEFAULT_PRIORITY, MAX_PRIORITY};
-use reqisc_compiler::{CacheStats, CompileCacheStats, Metrics, Pipeline, StoreStats};
+use reqisc_compiler::{CacheStats, CompileCacheStats, Metrics, Pipeline, SolverStats, StoreStats};
 
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -200,6 +200,9 @@ pub struct ServiceCounters {
     pub coalesced: u64,
     /// Requests rejected because the queue was at capacity.
     pub rejected_queue_full: u64,
+    /// Queued jobs dropped because every waiter disconnected before a
+    /// worker claimed them (the compile never ran).
+    pub cancelled: u64,
     /// Store snapshots (plain saves and compactions) taken.
     pub snapshots: u64,
     /// Jobs queued right now (gauge, not a counter).
@@ -215,6 +218,39 @@ pub struct StatsSnapshot {
     pub cache: CompileCacheStats,
     /// Store counters (`None` when the service runs without a store).
     pub store: Option<StoreStats>,
+}
+
+fn solver_stats_json(s: &SolverStats) -> Json {
+    Json::obj(vec![
+        ("solves", Json::num_u64(s.solves)),
+        ("failures", Json::num_u64(s.failures)),
+        ("evals", Json::num_u64(s.evals)),
+        ("verifies", Json::num_u64(s.verifies)),
+        ("curve_points", Json::num_u64(s.curve_points)),
+        ("newton_starts", Json::num_u64(s.newton_starts)),
+        ("newton_iters", Json::num_u64(s.newton_iters)),
+        ("boundary_roots", Json::num_u64(s.boundary_roots)),
+        ("interior_roots", Json::num_u64(s.interior_roots)),
+        ("early_rejects", Json::num_u64(s.early_rejects)),
+        ("degenerate_targets", Json::num_u64(s.degenerate_targets)),
+    ])
+}
+
+fn solver_stats_from(v: &Json) -> Result<SolverStats, String> {
+    let f = |k: &str| v.get(k).and_then(Json::as_u64).ok_or(format!("missing counter '{k}'"));
+    Ok(SolverStats {
+        solves: f("solves")?,
+        failures: f("failures")?,
+        evals: f("evals")?,
+        verifies: f("verifies")?,
+        curve_points: f("curve_points")?,
+        newton_starts: f("newton_starts")?,
+        newton_iters: f("newton_iters")?,
+        boundary_roots: f("boundary_roots")?,
+        interior_roots: f("interior_roots")?,
+        early_rejects: f("early_rejects")?,
+        degenerate_targets: f("degenerate_targets")?,
+    })
 }
 
 fn cache_stats_json(s: &CacheStats) -> Json {
@@ -249,6 +285,7 @@ impl StatsSnapshot {
                     ("failed", Json::num_u64(sc.failed)),
                     ("coalesced", Json::num_u64(sc.coalesced)),
                     ("rejected_queue_full", Json::num_u64(sc.rejected_queue_full)),
+                    ("cancelled", Json::num_u64(sc.cancelled)),
                     ("snapshots", Json::num_u64(sc.snapshots)),
                     ("queue_depth", Json::num_u64(sc.queue_depth)),
                 ]),
@@ -259,6 +296,7 @@ impl StatsSnapshot {
                     ("programs", cache_stats_json(&self.cache.programs)),
                     ("synthesis", cache_stats_json(&self.cache.synthesis)),
                     ("pulses", cache_stats_json(&self.cache.pulses)),
+                    ("solver", solver_stats_json(&self.cache.solver)),
                 ]),
             ),
         ];
@@ -293,6 +331,7 @@ impl StatsSnapshot {
             failed: f("failed")?,
             coalesced: f("coalesced")?,
             rejected_queue_full: f("rejected_queue_full")?,
+            cancelled: f("cancelled")?,
             snapshots: f("snapshots")?,
             queue_depth: f("queue_depth")?,
         };
@@ -301,6 +340,7 @@ impl StatsSnapshot {
             programs: cache_stats_from(cv.get("programs").ok_or("missing 'programs'")?)?,
             synthesis: cache_stats_from(cv.get("synthesis").ok_or("missing 'synthesis'")?)?,
             pulses: cache_stats_from(cv.get("pulses").ok_or("missing 'pulses'")?)?,
+            solver: solver_stats_from(cv.get("solver").ok_or("missing 'solver'")?)?,
         };
         let store = match v.get("store") {
             None => None,
@@ -375,6 +415,7 @@ mod tests {
                 failed: 1,
                 coalesced: 3,
                 rejected_queue_full: 2,
+                cancelled: 5,
                 snapshots: 4,
                 queue_depth: 1,
             },
@@ -382,6 +423,19 @@ mod tests {
                 programs: CacheStats { hits: 5, misses: 3, inserts: 3, evictions: 1 },
                 synthesis: CacheStats { hits: 50, misses: 30, inserts: 30, evictions: 0 },
                 pulses: CacheStats { hits: 7, misses: 2, inserts: 2, evictions: 0 },
+                solver: SolverStats {
+                    solves: 2,
+                    failures: 0,
+                    evals: 900,
+                    verifies: 12,
+                    curve_points: 40,
+                    newton_starts: 6,
+                    newton_iters: 55,
+                    boundary_roots: 1,
+                    interior_roots: 1,
+                    early_rejects: 3,
+                    degenerate_targets: 1,
+                },
             },
             store: Some(StoreStats {
                 loaded_entries: 100,

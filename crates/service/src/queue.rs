@@ -154,6 +154,30 @@ impl<T> JobQueue<T> {
         boosted
     }
 
+    /// Removes the first queued entry matching `pred`, returning whether
+    /// one was removed (`false` also covers "already popped by a
+    /// worker"). Used by ticket cancellation: a job whose waiters all
+    /// disconnected must not occupy a worker or a queue slot. O(n) heap
+    /// rebuild under the lock — queues are small by construction.
+    pub fn remove_first(&self, pred: impl Fn(&T) -> bool) -> bool {
+        let mut st = self.state.lock().expect("queue poisoned");
+        let entries: Vec<Entry<T>> = std::mem::take(&mut st.heap).into_vec();
+        let mut removed = false;
+        let kept: Vec<Entry<T>> = entries
+            .into_iter()
+            .filter(|e| {
+                if !removed && pred(&e.item) {
+                    removed = true;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        st.heap = kept.into();
+        removed
+    }
+
     /// Closes the queue: future pushes reject, workers drain what is
     /// queued and then see `None`.
     pub fn close(&self) {
@@ -202,6 +226,21 @@ mod tests {
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), Some(3));
         assert_eq!(q.pop(), None, "closed + drained");
+    }
+
+    #[test]
+    fn remove_first_drops_one_matching_entry() {
+        let q: JobQueue<u32> = JobQueue::new(8);
+        q.try_push(1, 5).unwrap();
+        q.try_push(2, 5).unwrap();
+        q.try_push(2, 9).unwrap();
+        assert!(q.remove_first(|&v| v == 2), "queued entry must be removable");
+        assert!(!q.remove_first(|&v| v == 7), "absent entries report false");
+        assert_eq!(q.len(), 2);
+        q.close();
+        // Exactly one of the two v=2 entries was removed; order intact.
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).collect();
+        assert!(order == vec![1, 2] || order == vec![2, 1], "got {order:?}");
     }
 
     #[test]

@@ -14,6 +14,15 @@
 //! A duplicate hotter than the queued original boosts the queued job to
 //! its priority, so coalescing never inverts the priority contract.
 //!
+//! ## Cancellation
+//!
+//! A client that disconnects while its job is still queued used to orphan
+//! the ticket — harmless, but the compile still ran. Every ticket now
+//! carries a waiter guard: dropping the last ticket attached to a queued
+//! job removes the job from the queue (freeing its slot for admission)
+//! and counts it under `cancelled` in `stats`. A job already claimed by a
+//! worker is past cancellation and simply completes with nobody waiting.
+//!
 //! ## Failure isolation
 //!
 //! A panicking pipeline (or the gated debug `panic` op) is caught per
@@ -111,19 +120,71 @@ pub struct JobDone {
 /// What a waiter receives: the result or the failure message.
 pub type JobResult = Result<JobDone, String>;
 
-/// A claim on one submitted job's result.
+/// A claim on one submitted job's result. Dropping a ticket without
+/// waiting detaches its waiter; when the *last* waiter of a still-queued
+/// job detaches, the job is cancelled (see the module docs).
 #[derive(Debug)]
 pub struct Ticket {
     rx: mpsc::Receiver<JobResult>,
     /// True when this submission attached to an already-in-flight
     /// identical job instead of occupying a queue slot.
     pub coalesced: bool,
+    /// Detaches this waiter on drop (compile jobs only).
+    _guard: Option<WaiterGuard>,
 }
 
 impl Ticket {
     /// Blocks until the job finishes.
     pub fn wait(self) -> JobResult {
         self.rx.recv().unwrap_or_else(|_| Err("service terminated before the job ran".into()))
+    }
+}
+
+/// Removes one waiter from its job's coalesced waiter set on drop; the
+/// last waiter out cancels the job if it is still queued. Waiter ids are
+/// globally unique, so a guard outliving its job (or racing a same-key
+/// resubmission) can never detach someone else's waiter.
+struct WaiterGuard {
+    inner: Arc<Inner>,
+    key: JobKey,
+    id: u64,
+}
+
+impl std::fmt::Debug for WaiterGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaiterGuard").field("key", &self.key).field("id", &self.id).finish()
+    }
+}
+
+impl Drop for WaiterGuard {
+    fn drop(&mut self) {
+        let mut inflight = self.inner.inflight.lock().expect("inflight map poisoned");
+        let Some(waiters) = inflight.get_mut(&self.key) else {
+            return; // job already completed (or cancelled by a peer)
+        };
+        waiters.retain(|(id, _)| *id != self.id);
+        if !waiters.is_empty() {
+            return; // other waiters still want the result
+        }
+        inflight.remove(&self.key);
+        // Last waiter gone: pull the job out of the queue if a worker has
+        // not claimed it yet. (A running job is past cancellation and
+        // completes normally with nobody listening — that window is
+        // unavoidable and harmless.) The inflight lock is deliberately
+        // held across the removal — the same inflight→queue order
+        // `submit_compile` uses — so a racing same-key resubmission
+        // cannot slip a fresh job into the queue between the entry
+        // removal and the keyed `remove_first` (which would cancel the
+        // *new* job and strand its waiters forever).
+        let key = self.key;
+        if self
+            .inner
+            .queue
+            .remove_first(|job| matches!(job, Job::Compile { key: k, .. } if *k == key))
+        {
+            self.inner.counters.cancelled.fetch_add(1, Ordering::SeqCst);
+        }
+        drop(inflight);
     }
 }
 
@@ -149,6 +210,7 @@ struct Counters {
     failed: AtomicU64,
     coalesced: AtomicU64,
     rejected_queue_full: AtomicU64,
+    cancelled: AtomicU64,
     snapshots: AtomicU64,
 }
 
@@ -160,9 +222,10 @@ struct Inner {
     /// merge-atomic, within one process.
     store_lock: Mutex<()>,
     queue: JobQueue<Job>,
-    inflight: Mutex<HashMap<JobKey, Vec<mpsc::Sender<JobResult>>>>,
+    inflight: Mutex<HashMap<JobKey, Vec<(u64, mpsc::Sender<JobResult>)>>>,
     counters: Counters,
     done_seq: AtomicU64,
+    waiter_seq: AtomicU64,
     gc_max_idle_gens: Option<u64>,
     debug_ops: bool,
     parse_limits: ParseLimits,
@@ -197,7 +260,7 @@ impl Inner {
                         .expect("inflight map poisoned")
                         .remove(&key)
                         .unwrap_or_default();
-                    for tx in waiters {
+                    for (_, tx) in waiters {
                         // A waiter that dropped its ticket is not an error.
                         let _ = tx.send(result.clone());
                     }
@@ -312,6 +375,7 @@ impl Service {
             inflight: Mutex::new(HashMap::new()),
             counters: Counters::default(),
             done_seq: AtomicU64::new(0),
+            waiter_seq: AtomicU64::new(0),
             gc_max_idle_gens: config.gc_max_idle_gens,
             debug_ops: config.debug_ops,
             parse_limits: config.parse_limits,
@@ -406,12 +470,14 @@ impl Service {
             options: self.inner.compiler.options_fingerprint(),
         };
         let (tx, rx) = mpsc::channel();
+        let waiter_id = self.inner.waiter_seq.fetch_add(1, Ordering::SeqCst);
+        let guard = Some(WaiterGuard { inner: self.inner.clone(), key, id: waiter_id });
         // The inflight lock spans the queue push so a worker finishing the
         // job (which takes the same lock to collect waiters) can never
         // interleave between "queued" and "registered".
         let mut inflight = self.inner.inflight.lock().expect("inflight map poisoned");
         if let Some(waiters) = inflight.get_mut(&key) {
-            waiters.push(tx);
+            waiters.push((waiter_id, tx));
             // A more urgent duplicate must not wait at the original
             // submission's priority: raise the queued job to match (a
             // no-op if the job already runs or was queued hotter).
@@ -421,13 +487,13 @@ impl Service {
             );
             self.inner.counters.coalesced.fetch_add(1, Ordering::SeqCst);
             self.inner.counters.submitted.fetch_add(1, Ordering::SeqCst);
-            return Ok(Ticket { rx, coalesced: true });
+            return Ok(Ticket { rx, coalesced: true, _guard: guard });
         }
         match self.inner.queue.try_push(Job::Compile { key, circuit, pipeline }, priority) {
             Ok(()) => {
-                inflight.insert(key, vec![tx]);
+                inflight.insert(key, vec![(waiter_id, tx)]);
                 self.inner.counters.submitted.fetch_add(1, Ordering::SeqCst);
-                Ok(Ticket { rx, coalesced: false })
+                Ok(Ticket { rx, coalesced: false, _guard: guard })
             }
             Err(full) => {
                 self.inner.counters.rejected_queue_full.fetch_add(1, Ordering::SeqCst);
@@ -454,7 +520,7 @@ impl Service {
         match self.inner.queue.try_push(job, priority) {
             Ok(()) => {
                 self.inner.counters.submitted.fetch_add(1, Ordering::SeqCst);
-                Ok(Ticket { rx, coalesced: false })
+                Ok(Ticket { rx, coalesced: false, _guard: None })
             }
             Err(full) => {
                 self.inner.counters.rejected_queue_full.fetch_add(1, Ordering::SeqCst);
@@ -479,6 +545,7 @@ impl Service {
                 failed: c.failed.load(Ordering::SeqCst),
                 coalesced: c.coalesced.load(Ordering::SeqCst),
                 rejected_queue_full: c.rejected_queue_full.load(Ordering::SeqCst),
+                cancelled: c.cancelled.load(Ordering::SeqCst),
                 snapshots: c.snapshots.load(Ordering::SeqCst),
                 queue_depth: self.inner.queue.len() as u64,
             },

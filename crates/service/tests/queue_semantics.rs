@@ -186,6 +186,81 @@ fn hot_duplicate_boosts_its_queued_original() {
 }
 
 #[test]
+fn dropping_the_only_ticket_cancels_a_queued_job() {
+    let service = Service::start_with_compiler(
+        small_compiler(),
+        ServiceConfig { workers: 1, debug_ops: true, ..ServiceConfig::default() },
+    );
+    let park = park_worker(&service, 150);
+    let orphan = service.submit_compile(tiny(20), Pipeline::Qiskit, DEFAULT_PRIORITY).unwrap();
+    assert_eq!(service.queue_depth(), 1);
+    // The client disconnects while its job is still queued: the job must
+    // leave the queue immediately — no worker ever runs the compile.
+    drop(orphan);
+    assert_eq!(service.queue_depth(), 0, "cancelled job must free its queue slot");
+    park.wait().expect("park");
+    let s = service.stats_snapshot();
+    assert_eq!(s.service.cancelled, 1, "cancellation must be counted");
+    assert_eq!(s.service.completed, 1, "only the park job ran");
+    assert_eq!(s.cache.programs.misses, 0, "the compile never started");
+    // The same program submitted again is a fresh job and completes.
+    let retry = service.submit_compile(tiny(20), Pipeline::Qiskit, DEFAULT_PRIORITY).unwrap();
+    assert!(!retry.coalesced, "cancelled job must not linger in the inflight map");
+    assert!(retry.wait().is_ok());
+    assert_eq!(service.stats_snapshot().service.cancelled, 1);
+    service.shutdown();
+}
+
+#[test]
+fn cancellation_waits_for_the_last_coalesced_waiter() {
+    let service = Service::start_with_compiler(
+        small_compiler(),
+        ServiceConfig { workers: 1, debug_ops: true, ..ServiceConfig::default() },
+    );
+    let park = park_worker(&service, 150);
+    let first = service.submit_compile(tiny(21), Pipeline::Qiskit, DEFAULT_PRIORITY).unwrap();
+    let second = service.submit_compile(tiny(21), Pipeline::Qiskit, DEFAULT_PRIORITY).unwrap();
+    assert!(second.coalesced);
+    // One of two waiters disconnects: the survivor still owns the job.
+    drop(first);
+    assert_eq!(service.queue_depth(), 1, "a surviving waiter keeps the job queued");
+    assert_eq!(service.stats_snapshot().service.cancelled, 0);
+    park.wait().expect("park");
+    assert!(second.wait().is_ok(), "the surviving waiter must get the result");
+    // Both waiters of a second job disconnect: now it cancels.
+    let park2 = park_worker(&service, 150);
+    let a = service.submit_compile(tiny(22), Pipeline::Qiskit, DEFAULT_PRIORITY).unwrap();
+    let b = service.submit_compile(tiny(22), Pipeline::Qiskit, DEFAULT_PRIORITY).unwrap();
+    drop(a);
+    drop(b);
+    assert_eq!(service.queue_depth(), 0);
+    park2.wait().expect("park");
+    let s = service.stats_snapshot();
+    assert_eq!(s.service.cancelled, 1);
+    assert_eq!(s.service.completed, 3, "two parks + one compile, no cancelled work");
+    service.shutdown();
+}
+
+#[test]
+fn waited_tickets_never_count_as_cancelled() {
+    // The guard rides every ticket; a normally-served request must leave
+    // the cancellation counter untouched (the completion path removes the
+    // inflight entry before the guard drops).
+    let service = Service::start_with_compiler(
+        small_compiler(),
+        ServiceConfig { workers: 1, ..ServiceConfig::default() },
+    );
+    for seed in 0..3 {
+        let t = service.submit_compile(tiny(seed), Pipeline::Qiskit, DEFAULT_PRIORITY).unwrap();
+        assert!(t.wait().is_ok());
+    }
+    let s = service.stats_snapshot();
+    assert_eq!(s.service.cancelled, 0);
+    assert_eq!(s.service.completed, 3);
+    service.shutdown();
+}
+
+#[test]
 fn poisoned_job_fails_cleanly_without_wedging_the_pool() {
     let service = Service::start_with_compiler(
         small_compiler(),

@@ -1,14 +1,19 @@
-//! Regression pins for the two PR-1 numerical fixes, so future solver or
-//! KAK refactors cannot silently reintroduce them:
+//! Regression pins for the numerical fixes of PR 1 (KAK face snap),
+//! PR 1/3 (EA sliver seeding) and PR 5 (boundary-curve solver), so
+//! future solver or KAK refactors cannot silently reintroduce them:
 //!
 //! * **KAK x = π/4 face snap**: coordinates within 1e-8 of the x = π/4
 //!   chamber face used to oscillate between (π/4 − δ, …, z < 0) and
 //!   (π/4 + δ, …) under the face rule and fail canonicalization;
 //!   `canonicalize` now pins them onto the face.
-//! * **EA sliver seeding**: frontier-marginal targets (EA binding time
+//! * **EA sliver roots**: frontier-marginal targets (EA binding time
 //!   barely above ND's) have their only roots in thin slivers —
-//!   β = O(10⁻³) or 1 − α = O(10⁻³) — which uniform grid seeding missed;
-//!   `solve_ea` seeds log-spaced edge rows to catch them.
+//!   β = O(10⁻³) or 1 − α = O(10⁻³) — which uniform grid seeding missed.
+//!   PR 1 added log-spaced edge-seed rows, PR 3 a reserve-wave quota, and
+//!   PR 5 replaced the lot with the boundary-curve solver, which walks
+//!   the pure-detuning boundary family directly: the sliver tier below is
+//!   pinned one order *deeper* (ε = 10⁻⁶) than the grid solver ever
+//!   reliably reached.
 
 use reqisc::microarch::{optimal_duration, solve_ea, solve_pulse, Coupling, EaSign};
 use reqisc::qmath::gates::canonical_gate;
@@ -84,19 +89,18 @@ fn ea_sliver_roots_stay_found_under_xx() {
     }
 }
 
-/// PR-3 regression: `solve_ea` used to refine only the 16 globally
-/// best-residual seeds, which starved the β = O(10⁻³) / 1 − α = O(10⁻³)
-/// sliver rows whenever enough coarse-grid seeds ranked ahead —
-/// frontier-marginal targets then converged only when the landscape
-/// happened to rank a sliver seed into the top 16. The edge-family quota
-/// guarantees the sliver rows refinement slots, so the *deep*-marginal
-/// family (τ₋ − τ₀ = y + z down to 10⁻⁵, an order tighter than the PR-1
-/// pins above) must now converge deterministically, and to the sliver
-/// root itself.
+/// PR-3/PR-5 regression: the grid solver refined only the 16 globally
+/// best-residual seeds, starving the β = O(10⁻³) / 1 − α = O(10⁻³)
+/// sliver rows (PR 3 patched it with an edge-family reserve quota). The
+/// PR-5 boundary-curve solver finds these roots by construction — a 1-D
+/// sign-scan over the pure-detuning boundary family in log-spaced drive
+/// magnitude — so the deep-marginal family is pinned down to
+/// τ₋ − τ₀ = y + z = 10⁻⁶, one order deeper than the quota-era pin
+/// (10⁻⁵), and must converge deterministically to the sliver root.
 #[test]
 fn ea_seed_quota_keeps_deep_sliver_roots() {
     let cp = Coupling::xx(1.0);
-    for eps in [1e-5, 3e-5, 5e-5, 7e-4] {
+    for eps in [1e-6, 3e-6, 1e-5, 3e-5, 5e-5, 7e-4] {
         let w = WeylCoord::new(0.7, eps, 0.0);
         let tau = optimal_duration(&w, &cp).tau;
         let sols = solve_ea(&cp, EaSign::Minus, &w, tau, 1e-8);
