@@ -26,18 +26,18 @@
 //!   against one `REQISC_CACHE_DIR` with both assertions on the second
 //!   run, so a persistence regression fails loudly).
 
-use reqisc_bench::{env_cache_dir, env_f64, env_flag, env_usize};
+use reqisc_bench::{env, env_cache_dir};
 use reqisc_benchsuite::{scale_from_env, suite, Benchmark};
 use reqisc_compiler::{CacheStore, Compiler, LoadOutcome, Pipeline};
 use reqisc_qcircuit::Circuit;
 use std::time::Instant;
 
 fn main() {
-    let cap = env_usize("REQISC_BENCH_N", usize::MAX);
-    let threads = env_usize("REQISC_THREADS", 0);
-    let skip_serial = env_flag("REQISC_SKIP_SERIAL");
-    let require_disk_warm_x = env_f64("REQISC_REQUIRE_DISK_WARM_X");
-    let require_hit_pct = env_f64("REQISC_REQUIRE_PROGRAM_HIT_PCT");
+    let cap = env::BENCH_N.usize_or(usize::MAX);
+    let threads = env::THREADS.usize_or(0);
+    let skip_serial = env::SKIP_SERIAL.flag();
+    let require_disk_warm_x = env::REQUIRE_DISK_WARM_X.f64();
+    let require_hit_pct = env::REQUIRE_PROGRAM_HIT_PCT.f64();
     let shared_dir = env_cache_dir();
     let programs: Vec<Benchmark> = suite(scale_from_env())
         .into_iter()

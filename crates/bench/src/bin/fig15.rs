@@ -28,7 +28,7 @@ fn fidelity_of(c: &Circuit, cp: &Coupling, trials: usize) -> f64 {
 fn main() {
     let compiler = Compiler::new();
     let cp = Coupling::xy(1.0);
-    let trials = reqisc_bench::env_usize("REQISC_TRIALS", 120);
+    let trials = reqisc_bench::env::TRIALS.usize_or(120);
     // Representative programs small enough for dense noisy simulation.
     let programs: Vec<Benchmark> = mini_suite()
         .into_iter()

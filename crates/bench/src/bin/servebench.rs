@@ -23,7 +23,7 @@
 //! Note the single-core container caveat (ROADMAP): wall-clocks here are
 //! indicative; the counters (hits, coalesced) are the portable signal.
 
-use reqisc_bench::{env_cache_dir, env_usize};
+use reqisc_bench::{env, env_cache_dir};
 use reqisc_benchsuite::{scale_from_env, suite, Benchmark};
 use reqisc_compiler::Pipeline;
 use reqisc_qcircuit::Circuit;
@@ -52,8 +52,8 @@ fn row(pass: &str, latencies_ms: &mut [f64], total_s: f64) {
 }
 
 fn main() {
-    let cap = env_usize("REQISC_BENCH_N", 24);
-    let workers = env_usize("REQISC_SERVE_WORKERS", 0);
+    let cap = env::BENCH_N.usize_or(24);
+    let workers = env::SERVE_WORKERS.usize_or(0);
     let programs: Vec<Benchmark> = suite(scale_from_env())
         .into_iter()
         .filter(|b| b.circuit.lowered_to_cx().count_2q() <= 5000)

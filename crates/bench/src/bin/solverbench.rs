@@ -37,7 +37,7 @@
 //! (every ε finds its root) — that is the regression the boundary-curve
 //! rewrite exists to prevent.
 
-use reqisc_bench::env_usize;
+use reqisc_bench::env;
 use reqisc_microarch::{
     optimal_duration, solve_ea_profiled, Coupling, EaSign, EaSolveProfile,
 };
@@ -183,10 +183,10 @@ fn main() {
             println!("OK: {name} counters {total} <= budget {budget}");
         }
     };
-    require("sliver", s.total, env_usize("REQISC_REQUIRE_SLIVER_BUDGET", 0));
-    require("generic", g.total, env_usize("REQISC_REQUIRE_GENERIC_BUDGET", 0));
-    require("degenerate", d.total, env_usize("REQISC_REQUIRE_DEGENERATE_BUDGET", 0));
-    if std::env::var("REQISC_REQUIRE_ZERO_REJECT_EVALS").is_ok() {
+    require("sliver", s.total, env::REQUIRE_SLIVER_BUDGET.usize_or(0));
+    require("generic", g.total, env::REQUIRE_GENERIC_BUDGET.usize_or(0));
+    require("degenerate", d.total, env::REQUIRE_DEGENERATE_BUDGET.usize_or(0));
+    if env::REQUIRE_ZERO_REJECT_EVALS.is_set() {
         let evals: u64 = r.profiles.iter().map(|(_, _, p)| p.evals + p.verifies).sum();
         if evals != 0 {
             eprintln!("FAIL: reject tier cost {evals} evaluations (must be 0)");

@@ -35,7 +35,7 @@ fn random_coupling(rng: &mut StdRng) -> Coupling {
 }
 
 fn main() {
-    let samples = reqisc_bench::env_usize("REQISC_HAAR_SAMPLES", 2000);
+    let samples = reqisc_bench::env::HAAR_SAMPLES.usize_or(2000);
     let gates: [(&str, WeylCoord, f64); 4] = [
         ("cnot", WeylCoord::cnot(), 3.0),
         ("iswap", WeylCoord::iswap(), 3.0),

@@ -15,36 +15,26 @@ use reqisc_microarch::Coupling;
 use reqisc_qcircuit::Circuit;
 use std::collections::BTreeMap;
 
-/// The `REQISC_*` environment knobs shared by every bench binary —
-/// *one* parse each, so `cachebench`, the figure/table binaries, and the
-/// service bins can never drift on semantics. The cache-dir variable
-/// itself is owned by `reqisc_service` (the daemon honours it too);
-/// [`env_cache_dir`] delegates there.
+/// The `REQISC_*` environment knobs shared by every bench binary. Each
+/// knob is declared exactly once in the [`reqisc_env`] registry (with its
+/// doc line — enforced by the `reqisc-lint` `env-registry` rule); this
+/// module re-exports the ones the bench binaries read plus the cache-dir
+/// convenience that delegates to the service's exact semantics.
 pub mod env {
-    /// Reads `REQISC_CACHE_DIR` with the service's exact semantics
+    pub use reqisc_env::{
+        BENCH_N, CACHE_DIR, HAAR_SAMPLES, REQUIRE_DEGENERATE_BUDGET, REQUIRE_DISK_WARM_X,
+        REQUIRE_GENERIC_BUDGET, REQUIRE_PROGRAM_HIT_PCT, REQUIRE_SLIVER_BUDGET,
+        REQUIRE_ZERO_REJECT_EVALS, SCALE, SERVE_WORKERS, SKIP_SERIAL, THREADS, TRIALS,
+    };
+
+    /// Reads the cache-dir knob with the service's exact semantics
     /// (unset or empty = no persistent store).
     pub fn env_cache_dir() -> Option<std::path::PathBuf> {
         reqisc_service::cache_dir_from_env()
     }
-
-    /// Reads an integer env knob; `default` when unset/unparseable.
-    pub fn env_usize(name: &str, default: usize) -> usize {
-        std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-    }
-
-    /// Reads a float env knob (`None` when unset/unparseable) — the
-    /// shape of the `REQISC_REQUIRE_*` assertion thresholds.
-    pub fn env_f64(name: &str) -> Option<f64> {
-        std::env::var(name).ok().and_then(|v| v.parse().ok())
-    }
-
-    /// Reads a boolean env flag: set and neither empty nor `"0"`.
-    pub fn env_flag(name: &str) -> bool {
-        std::env::var(name).map(|v| !v.is_empty() && v != "0").unwrap_or(false)
-    }
 }
 
-pub use env::{env_cache_dir, env_f64, env_flag, env_usize};
+pub use env::env_cache_dir;
 
 /// Opens the persistent compile store named by `REQISC_CACHE_DIR` (if
 /// set) and warm-starts `compiler` from it. Every bench binary calls this

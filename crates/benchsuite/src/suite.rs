@@ -192,11 +192,11 @@ pub fn mini_suite_capped(max_qubits: usize) -> Vec<Benchmark> {
         .collect()
 }
 
-/// Reads the suite scale from the `REQISC_SCALE` environment variable
+/// Reads the suite scale from the [`reqisc_env::SCALE`] environment knob
 /// (`paper` → [`Scale::Paper`], anything else → [`Scale::Demo`]).
 pub fn scale_from_env() -> Scale {
-    match std::env::var("REQISC_SCALE").as_deref() {
-        Ok("paper") => Scale::Paper,
+    match reqisc_env::SCALE.var().as_deref() {
+        Some("paper") => Scale::Paper,
         _ => Scale::Demo,
     }
 }

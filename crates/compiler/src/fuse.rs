@@ -6,6 +6,7 @@
 //! blocks. Blocks that turn out to be local products are re-emitted as `U3`
 //! gates, and identity blocks vanish.
 
+// lint:allow-file(tolerance-literal, local gate-fusion angle thresholds; not serialized contracts)
 use reqisc_qcircuit::{Circuit, Gate};
 use reqisc_qmath::gates::{swap, zyz_decompose};
 use reqisc_qmath::{kron_factor, CMat};

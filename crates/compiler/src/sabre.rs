@@ -6,6 +6,7 @@
 //! prefers SWAPs that the *last mapped layer* can absorb: appending a SWAP
 //! to an SU(4) gate yields another SU(4) — one pulse, zero extra #2Q.
 
+// lint:allow-file(tolerance-literal, router tie-break epsilon local to the heuristic; not a serialized contract)
 use crate::topology::Topology;
 use reqisc_qcircuit::{Circuit, Dag, Gate};
 use reqisc_qmath::gates::swap as swap_mat;

@@ -76,6 +76,13 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+// The header constants, the payload serializer, and the decoder below
+// are marked store-surface regions: `reqisc-lint`'s store-format rule
+// fingerprints them into `crates/lint/store_surface.lock` (keyed by
+// STORE_FORMAT_VERSION) and denies any edit that doesn't come with a
+// version bump + registry regeneration. See that file's header for the
+// regeneration command.
+// lint:store-surface-begin
 /// Magic bytes opening every store file.
 pub const STORE_MAGIC: [u8; 4] = *b"RQCS";
 
@@ -91,6 +98,7 @@ pub const STORE_FORMAT_VERSION: u32 = 2;
 pub const STORE_FILE_NAME: &str = "reqisc-cache.bin";
 
 const HEADER_LEN: usize = 32;
+// lint:store-surface-end
 
 /// Counter snapshot of one [`CacheStore`]'s activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -211,11 +219,11 @@ impl CacheStore {
     /// Counter snapshot.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
-            loaded_entries: self.loaded_entries.load(Ordering::SeqCst),
-            saved_entries: self.saved_entries.load(Ordering::SeqCst),
-            rejected: self.rejected.load(Ordering::SeqCst),
-            compactions: self.compactions.load(Ordering::SeqCst),
-            gc_dropped: self.gc_dropped.load(Ordering::SeqCst),
+            loaded_entries: self.loaded_entries.load(Ordering::Relaxed),
+            saved_entries: self.saved_entries.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            gc_dropped: self.gc_dropped.load(Ordering::Relaxed),
         }
     }
 
@@ -237,11 +245,11 @@ impl CacheStore {
                 for ((cp, class), _, v) in d.pulses {
                     cache.pulses().seed_class(cp, class, v);
                 }
-                self.loaded_entries.fetch_add((np + ns + nu) as u64, Ordering::SeqCst);
+                self.loaded_entries.fetch_add((np + ns + nu) as u64, Ordering::Relaxed);
                 LoadOutcome::Loaded { programs: np, synthesis: ns, pulses: nu }
             }
             Err(reason) => {
-                self.rejected.fetch_add(1, Ordering::SeqCst);
+                self.rejected.fetch_add(1, Ordering::Relaxed);
                 LoadOutcome::Rejected { reason }
             }
         }
@@ -285,8 +293,8 @@ impl CacheStore {
     ) -> std::io::Result<CompactOutcome> {
         let (kept, outcome) = self.write_merged(cache, Some(max_idle_gens))?;
         let outcome = outcome.unwrap_or(CompactOutcome { kept, dropped: 0, generation: 1 });
-        self.compactions.fetch_add(1, Ordering::SeqCst);
-        self.gc_dropped.fetch_add(outcome.dropped as u64, Ordering::SeqCst);
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.gc_dropped.fetch_add(outcome.dropped as u64, Ordering::Relaxed);
         Ok(outcome)
     }
 
@@ -354,6 +362,7 @@ impl CacheStore {
         // order, but equal cache *content* must serialize to equal *bytes*
         // (the round-trip tests diff whole files, and stable bytes make
         // repeated saves rsync/dedup-friendly).
+        // lint:store-surface-begin
         programs.sort_by_key(|(k, _, _)| (k.circuit, k.pipeline.store_tag(), k.options));
         synthesis.sort_by_key(|(k, _, _)| (k.target, k.num_qubits, k.budget, k.options));
         pulses.sort_by_key(|((cp, class), _, _)| (*cp, class.0));
@@ -403,6 +412,7 @@ impl CacheStore {
         file.put_u64(payload.len() as u64);
         file.put_u128(checksum(&payload));
         file.put_bytes(&payload);
+        // lint:store-surface-end
 
         let dir = self.path.parent().unwrap_or_else(|| Path::new("."));
         std::fs::create_dir_all(dir)?;
@@ -410,7 +420,7 @@ impl CacheStore {
             ".{}.tmp.{}.{}",
             STORE_FILE_NAME,
             std::process::id(),
-            TMP_SEQ.fetch_add(1, Ordering::SeqCst)
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         std::fs::write(&tmp, file.as_bytes())?;
         match std::fs::rename(&tmp, &self.path) {
@@ -420,7 +430,7 @@ impl CacheStore {
                 return Err(e);
             }
         }
-        self.saved_entries.fetch_add(n as u64, Ordering::SeqCst);
+        self.saved_entries.fetch_add(n as u64, Ordering::Relaxed);
         Ok((n, outcome))
     }
 
@@ -465,6 +475,7 @@ fn checksum(bytes: &[u8]) -> u128 {
     h.finish()
 }
 
+// lint:store-surface-begin
 fn decode_file(bytes: &[u8]) -> Result<Decoded, CodecError> {
     if bytes.len() < HEADER_LEN {
         return Err(CodecError::new(format!("file too short ({} bytes)", bytes.len())));
@@ -541,3 +552,4 @@ fn decode_file(bytes: &[u8]) -> Result<Decoded, CodecError> {
     }
     Ok(Decoded { generation, programs, synthesis, pulses })
 }
+// lint:store-surface-end

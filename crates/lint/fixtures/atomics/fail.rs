@@ -1,0 +1,12 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static HITS: AtomicUsize = AtomicUsize::new(0);
+pub static READY: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() {
+    HITS.fetch_add(1, Ordering::SeqCst); // counter spelled with a full fence
+}
+
+pub fn publish() {
+    READY.store(1, Ordering::Release); // no Acquire side anywhere
+}

@@ -1,0 +1,16 @@
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+pub static DONE: AtomicBool = AtomicBool::new(false);
+pub static TICKS: AtomicUsize = AtomicUsize::new(0);
+
+pub fn set_done() {
+    DONE.store(true, Ordering::Release);
+}
+
+pub fn is_done() -> bool {
+    DONE.load(Ordering::Acquire)
+}
+
+pub fn tick() {
+    TICKS.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,4 @@
+pub fn mentions() -> &'static str {
+    // Prose *mentioning* a knob inside a longer string is not a declaration.
+    "set REQISC_GOOD=1 to enable"
+}

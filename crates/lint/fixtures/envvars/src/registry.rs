@@ -1,0 +1,8 @@
+pub struct Knob {
+    pub name: &'static str,
+    pub doc: &'static str,
+}
+
+pub const GOOD: Knob = Knob { name: "REQISC_GOOD", doc: "a documented knob" };
+pub const NAKED: Knob = Knob { name: "REQISC_NAKED", doc: "" };
+pub const DUP: Knob = Knob { name: "REQISC_GOOD", doc: "duplicate declaration" };

@@ -1,0 +1,13 @@
+use std::sync::Mutex;
+
+pub fn inverted(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let held_b = b.lock().unwrap();
+    let held_a = a.lock().unwrap(); // inversion of `lock_a < lock_b`
+    *held_a + *held_b
+}
+
+pub fn twice(a: &Mutex<u32>) -> u32 {
+    let first = a.lock().unwrap();
+    let second = a.lock().unwrap(); // self-deadlock on `lock_a`
+    *first + *second
+}

@@ -1,0 +1,17 @@
+use std::sync::Mutex;
+
+pub fn ordered(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let held_a = a.lock().unwrap();
+    let held_b = b.lock().unwrap(); // lock_b under lock_a: declared order
+    *held_a + *held_b
+}
+
+pub fn released_early(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let x = {
+        let held_a = a.lock().unwrap();
+        let v = *held_a;
+        drop(held_a); // lock_a released before lock_b is taken
+        v
+    };
+    x + *b.lock().unwrap()
+}

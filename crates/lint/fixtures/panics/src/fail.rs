@@ -1,0 +1,9 @@
+pub fn handle(values: &[u32]) -> u32 {
+    deep(values)
+}
+
+fn deep(values: &[u32]) -> u32 {
+    let first = values.first().unwrap();
+    let labeled = values.last().expect("nonempty");
+    first + labeled + values[0]
+}

@@ -1,0 +1,7 @@
+pub fn unreached(values: &[u32]) -> u32 {
+    values[0] // not reachable from `handle`: out of the rule's scope
+}
+
+pub fn graceful(values: &[u32]) -> Option<u32> {
+    values.first().copied()
+}

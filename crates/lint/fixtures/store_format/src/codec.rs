@@ -1,0 +1,7 @@
+pub fn encode(value: u32) -> [u8; 4] {
+    value.to_le_bytes()
+}
+
+pub fn decode(bytes: [u8; 4]) -> u32 {
+    u32::from_le_bytes(bytes)
+}

@@ -1,0 +1,2 @@
+pub const STORE_FORMAT_VERSION: u32 = 1;
+pub const SNAP_TOL: f64 = 1e-8;

@@ -1,0 +1,3 @@
+pub fn converged(residual: f64) -> bool {
+    residual.abs() < 1e-9
+}

@@ -1,0 +1,11 @@
+/// Named threshold: `const` definitions are where tolerances belong.
+pub const EPS: f64 = 1e-9;
+
+pub fn converged(residual: f64) -> bool {
+    residual.abs() < EPS
+}
+
+pub fn prototype(x: f64) -> bool {
+    // lint:allow(tolerance-literal, prototype threshold pending calibration)
+    x > 1e-6
+}

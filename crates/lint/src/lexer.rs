@@ -1,0 +1,372 @@
+//! A small Rust tokenizer — just enough syntax awareness for the lint
+//! rules: identifiers, punctuation, string/char/numeric literals, and
+//! comments (captured separately, with line numbers, because the
+//! suppression and region-marker syntax lives in comments).
+//!
+//! This is deliberately **not** a parser. The fact extractors
+//! ([`crate::facts`]) work on the token stream with local pattern
+//! matching and brace counting, which is the right fidelity/effort
+//! trade-off for repo-specific rules in an offline build (no external
+//! parser crates).
+
+/// Token kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (integer or float, suffix included).
+    Num,
+    /// String literal (`"…"`, `r"…"`, `b"…"`, `r#"…"#`); `text` holds the
+    /// raw inner bytes, escapes unprocessed.
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Punctuation; multi-char operators that matter to the rules
+    /// (`::`, `->`, `=>`, `==`, `!=`, `<=`, `>=`, `&&`, `||`, `..`) are
+    /// single tokens, everything else is one char.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Kind.
+    pub kind: TokKind,
+    /// Token text (for [`TokKind::Str`], the inner bytes without quotes).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+/// One comment with its 1-based source line (line of the opening `//` or
+/// `/*`). Block comments are captured whole, newlines preserved.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the delimiters.
+    pub text: String,
+    /// 1-based line number where the comment starts.
+    pub line: u32,
+}
+
+/// Tokenizer output: the token stream plus the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+const MULTI_PUNCT: &[&str] = &["::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", ".."];
+
+/// Tokenizes `src`. Unterminated literals are tolerated (consumed to end
+/// of input) — the linter must never panic on the code it audits.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment { text: src[start..i].to_string(), line });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start_line = line;
+                let start = i + 2;
+                i += 2;
+                let mut depth = 1usize;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = if depth == 0 { i - 2 } else { i };
+                out.comments.push(Comment { text: src[start..end].to_string(), line: start_line });
+            }
+            b'"' => {
+                let (tok, ni, nl) = lex_string(src, i, line);
+                out.tokens.push(tok);
+                i = ni;
+                line = nl;
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                let (tok, ni, nl) = lex_prefixed_string(src, i, line);
+                out.tokens.push(tok);
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                let (tok, ni, nl) = lex_quote(src, i, line);
+                out.tokens.push(tok);
+                i = ni;
+                line = nl;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, ni) = lex_number(src, i, line);
+                out.tokens.push(tok);
+                i = ni;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+                if MULTI_PUNCT.contains(&two) {
+                    out.tokens.push(Token { kind: TokKind::Punct, text: two.to_string(), line });
+                    i += 2;
+                } else {
+                    out.tokens.push(Token {
+                        kind: TokKind::Punct,
+                        text: (c as char).to_string(),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    // r"…", r#"…"#, b"…", br"…", br#"…"#, rb is not a thing; also make
+    // sure `r` / `b` here is not just the start of an identifier.
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j < b.len() && b[j] == b'r' {
+            j += 1;
+        }
+    } else if b[j] == b'r' {
+        j += 1;
+    } else {
+        return false;
+    }
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"' && j != i
+}
+
+fn lex_string(src: &str, i: usize, line: u32) -> (Token, usize, u32) {
+    // Plain "…" with escapes.
+    let b = src.as_bytes();
+    let mut j = i + 1;
+    let mut l = line;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j = (j + 2).min(b.len()),
+            b'\n' => {
+                l += 1;
+                j += 1;
+            }
+            b'"' => {
+                let t = Token { kind: TokKind::Str, text: src[i + 1..j].to_string(), line };
+                return (t, j + 1, l);
+            }
+            _ => j += 1,
+        }
+    }
+    (Token { kind: TokKind::Str, text: src[i + 1..].to_string(), line }, b.len(), l)
+}
+
+fn lex_prefixed_string(src: &str, i: usize, line: u32) -> (Token, usize, u32) {
+    // b"…" (escapes) or r#*"…"#* / br#*"…"#* (no escapes).
+    let b = src.as_bytes();
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        raw = true;
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < b.len() && b[j] == b'"');
+    if !raw {
+        let (mut t, ni, nl) = lex_string(src, j, line);
+        t.line = line;
+        return (t, ni, nl);
+    }
+    let start = j + 1;
+    let mut l = line;
+    let closer: String = format!("\"{}", "#".repeat(hashes));
+    let rest = &src[start..];
+    match rest.find(&closer) {
+        Some(off) => {
+            let inner = &rest[..off];
+            l += inner.bytes().filter(|&c| c == b'\n').count() as u32;
+            (
+                Token { kind: TokKind::Str, text: inner.to_string(), line },
+                start + off + closer.len(),
+                l,
+            )
+        }
+        None => {
+            l += rest.bytes().filter(|&c| c == b'\n').count() as u32;
+            (Token { kind: TokKind::Str, text: rest.to_string(), line }, src.len(), l)
+        }
+    }
+}
+
+fn lex_quote(src: &str, i: usize, line: u32) -> (Token, usize, u32) {
+    // Either a char literal or a lifetime. `'a` / `'static` / `'_` have
+    // no closing quote right after the identifier.
+    let b = src.as_bytes();
+    let j = i + 1;
+    if j < b.len() && (b[j].is_ascii_alphabetic() || b[j] == b'_') && b[j] != b'\\' {
+        // Scan the identifier; if a `'` immediately follows it is a char
+        // literal like 'x', otherwise a lifetime.
+        let mut k = j;
+        while k < b.len() && (b[k].is_ascii_alphanumeric() || b[k] == b'_') {
+            k += 1;
+        }
+        if !(k < b.len() && b[k] == b'\'' && k == j + 1) {
+            return (
+                Token { kind: TokKind::Lifetime, text: src[j..k].to_string(), line },
+                k,
+                line,
+            );
+        }
+    }
+    // Char literal (escapes allowed).
+    let mut k = j;
+    while k < b.len() {
+        match b[k] {
+            b'\\' => k = (k + 2).min(b.len()),
+            b'\'' => {
+                return (
+                    Token { kind: TokKind::Char, text: src[j..k].to_string(), line },
+                    k + 1,
+                    line,
+                )
+            }
+            b'\n' => break,
+            _ => k += 1,
+        }
+    }
+    (Token { kind: TokKind::Char, text: src[j..k].to_string(), line }, k, line)
+}
+
+fn lex_number(src: &str, i: usize, line: u32) -> (Token, usize) {
+    let b = src.as_bytes();
+    let mut j = i;
+    if b[j] == b'0' && j + 1 < b.len() && matches!(b[j + 1], b'x' | b'b' | b'o') {
+        j += 2;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        return (Token { kind: TokKind::Num, text: src[i..j].to_string(), line }, j);
+    }
+    while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+        j += 1;
+    }
+    // Fraction: a '.' followed by a digit (not `..` and not a method call).
+    if j + 1 < b.len() && b[j] == b'.' && b[j + 1].is_ascii_digit() {
+        j += 1;
+        while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+            j += 1;
+        }
+    }
+    // Exponent: e/E with optional sign.
+    if j < b.len() && matches!(b[j], b'e' | b'E') {
+        let mut k = j + 1;
+        if k < b.len() && matches!(b[k], b'+' | b'-') {
+            k += 1;
+        }
+        if k < b.len() && b[k].is_ascii_digit() {
+            j = k;
+            while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (f64, u32, usize, …).
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    (Token { kind: TokKind::Num, text: src[i..j].to_string(), line }, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let got = kinds("fn f(x: u32) -> bool { x >= 1e-8 }");
+        assert!(got.contains(&(TokKind::Ident, "fn".into())));
+        assert!(got.contains(&(TokKind::Punct, "->".into())));
+        assert!(got.contains(&(TokKind::Punct, ">=".into())));
+        assert!(got.contains(&(TokKind::Num, "1e-8".into())), "{got:?}");
+    }
+
+    #[test]
+    fn floats_and_ranges() {
+        assert!(kinds("0..n").contains(&(TokKind::Punct, "..".into())));
+        assert!(kinds("1.5e-12").contains(&(TokKind::Num, "1.5e-12".into())));
+        assert!(kinds("x.max(1e-12)").contains(&(TokKind::Num, "1e-12".into())));
+        assert!(kinds("2.0f64").contains(&(TokKind::Num, "2.0f64".into())));
+        assert!(kinds("0x1f").contains(&(TokKind::Num, "0x1f".into())));
+    }
+
+    #[test]
+    fn strings_chars_lifetimes() {
+        assert!(kinds(r#"x("REQISC_FOO")"#).contains(&(TokKind::Str, "REQISC_FOO".into())));
+        assert!(kinds(r##"r#"a"b"#"##).contains(&(TokKind::Str, "a\"b".into())));
+        assert!(kinds("'\\n'").contains(&(TokKind::Char, "\\n".into())));
+        assert!(kinds("&'static str").contains(&(TokKind::Lifetime, "static".into())));
+        assert!(kinds("'a>").contains(&(TokKind::Lifetime, "a".into())));
+        assert!(kinds("b\"RQCS\"").contains(&(TokKind::Str, "RQCS".into())));
+    }
+
+    #[test]
+    fn comments_captured_with_lines() {
+        let l = lex("let a = 1; // lint:allow(x, y)\n/* block\nspan */ let b = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[0].text.contains("lint:allow"));
+        assert_eq!(l.comments[1].line, 2);
+        let b_tok = l.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b_tok.line, 3, "line counting must survive block comments");
+    }
+}

@@ -1,0 +1,124 @@
+//! `reqisc-lint` CLI: runs the six workspace invariant rules and exits
+//! non-zero on any deny diagnostic.
+//!
+//! ```text
+//! reqisc-lint [--root DIR] [--json] [--deny-all] [--update-store-registry]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut deny_all = false;
+    let mut update_registry = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => json = true,
+            "--deny-all" => deny_all = true,
+            "--update-store-registry" => update_registry = true,
+            "--help" | "-h" => {
+                println!(
+                    "reqisc-lint: workspace invariant analyzer\n\n\
+                     USAGE: reqisc-lint [--root DIR] [--json] [--deny-all] [--update-store-registry]\n\n\
+                     Rules: store-format, lock-order, atomic-ordering, panic-path,\n\
+                     tolerance-literal, env-registry. All deny by default; --deny-all\n\
+                     additionally promotes any warn-level diagnostics.\n\n\
+                     Suppress a finding with `// lint:allow(rule, reason)` on (or above)\n\
+                     its line, or `// lint:allow-file(rule, reason)` anywhere in the file.\n\n\
+                     --update-store-registry recomputes crates/lint/store_surface.lock\n\
+                     from the live workspace; run it in the same commit that bumps\n\
+                     STORE_FORMAT_VERSION."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("cwd");
+            match reqisc_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("reqisc-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let cfg = match reqisc_lint::load_workspace_config(&root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("reqisc-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if update_registry {
+        return match reqisc_lint::update_store_registry(&root, &cfg) {
+            Ok(path) => {
+                eprintln!("reqisc-lint: wrote {}", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("reqisc-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let outcome = match reqisc_lint::run(&root, &cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("reqisc-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut diags = outcome.diagnostics;
+    if deny_all {
+        for d in &mut diags {
+            d.severity = reqisc_lint::Severity::Deny;
+        }
+    }
+
+    if json {
+        println!("[");
+        for (i, d) in diags.iter().enumerate() {
+            let comma = if i + 1 < diags.len() { "," } else { "" };
+            println!("  {}{comma}", d.render_json());
+        }
+        println!("]");
+    } else {
+        for d in &diags {
+            println!("{}", d.render());
+        }
+        eprintln!(
+            "reqisc-lint: {} file(s), {} finding(s), {} suppressed",
+            outcome.files_scanned,
+            diags.len(),
+            outcome.suppressed
+        );
+    }
+
+    if diags.iter().any(|d| d.severity == reqisc_lint::Severity::Deny) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("reqisc-lint: {msg} (see --help)");
+    ExitCode::from(2)
+}

@@ -1,0 +1,90 @@
+//! **env-registry**: every `REQISC_*` environment variable has exactly
+//! one declaration, in the registry module, with a doc line.
+//!
+//! Before the registry existed, the same variable name was spelled as a
+//! string literal in four crates, and a typo in one of them meant a
+//! silently-ignored knob. Now: a string literal that *is exactly* a
+//! `REQISC_*` name (messages merely mentioning one are fine) may only
+//! appear in the configured `env-registry` file, where it must be the
+//! `name:` field of a knob followed by a non-empty `doc:` string.
+//! Everyone else references the registry's typed knob.
+
+use crate::config::Config;
+use crate::facts::SourceFile;
+use crate::lexer::TokKind;
+use crate::{Diagnostic, Workspace};
+use std::collections::BTreeMap;
+
+/// Rule id.
+pub const RULE: &str = "env-registry";
+
+/// Runs the rule.
+pub fn check(ws: &Workspace, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let Some(reg_rel) = cfg.env_registry.as_ref() else { return };
+
+    for f in &ws.files {
+        if &f.rel == reg_rel {
+            check_registry(f, out);
+        } else {
+            for lit in &f.env_lits {
+                if f.is_test_line(lit.line) {
+                    continue;
+                }
+                out.push(Diagnostic::deny(
+                    RULE,
+                    &f.rel,
+                    lit.line,
+                    format!(
+                        "`{}` spelled as a string literal outside the registry: declare the \
+                         knob once in {reg_rel} (with its doc line) and reference it as \
+                         `reqisc_env::<KNOB>` — stray literals are how typo'd env vars get \
+                         silently ignored",
+                        lit.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Inside the registry: every `REQISC_*` literal must be a knob `name:`
+/// immediately followed by `doc: "non-empty"`, and declared only once.
+fn check_registry(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let mut seen: BTreeMap<&str, u32> = BTreeMap::new();
+    for lit in &f.env_lits {
+        if f.is_test_line(lit.line) {
+            continue;
+        }
+        if let Some(&first) = seen.get(lit.text.as_str()) {
+            out.push(Diagnostic::deny(
+                RULE,
+                &f.rel,
+                lit.line,
+                format!("`{}` declared twice in the registry (first at line {first})", lit.text),
+            ));
+            continue;
+        }
+        seen.insert(&lit.text, lit.line);
+        // Expect: Str `,` doc `:` Str(non-empty)
+        let t = &f.tokens;
+        let i = lit.pos;
+        let ok = t.get(i + 1).map(|x| x.text == ",").unwrap_or(false)
+            && t.get(i + 2).map(|x| x.text == "doc").unwrap_or(false)
+            && t.get(i + 3).map(|x| x.text == ":").unwrap_or(false)
+            && t.get(i + 4)
+                .map(|x| x.kind == TokKind::Str && !x.text.trim().is_empty())
+                .unwrap_or(false);
+        if !ok {
+            out.push(Diagnostic::deny(
+                RULE,
+                &f.rel,
+                lit.line,
+                format!(
+                    "`{}` declared without a doc line: every knob in the registry carries \
+                     `doc: \"…\"` so the README table and `--help` stay generatable",
+                    lit.text
+                ),
+            ));
+        }
+    }
+}

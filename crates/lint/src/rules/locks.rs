@@ -1,0 +1,153 @@
+//! **lock-order**: lock acquisitions must respect the declared partial
+//! order, including through calls.
+//!
+//! Facts: every zero-arg `.lock()`/`.read()`/`.write()` whose receiver
+//! name maps to a declared lock class (`lock-class` in the config;
+//! unmapped receivers — stdout locks, file handles — do not
+//! participate). A `let`-bound guard is held to the end of the function
+//! (or an explicit `drop(guard)`); a temporary is held to the end of its
+//! statement, or through the block a `for`/`if let` header opens.
+//!
+//! Propagation: an approximate call graph. A call site resolves when its
+//! callee name matches exactly one function definition in the workspace
+//! and is not on the `call-ignore` blocklist (std-collection method
+//! names); the callee's transitively-acquired lock classes are treated
+//! as acquired at the call site.
+//!
+//! Violations: taking a class while holding one with no declared
+//! `lock-order outer inner` path (inversions of a declared edge get a
+//! sharper message), and re-acquiring a held class (self-deadlock for
+//! the `Mutex`-backed classes).
+
+use crate::config::Config;
+use crate::facts::{LockEvent, SourceFile};
+use crate::{Diagnostic, Workspace};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Rule id.
+pub const RULE: &str = "lock-order";
+
+/// Runs the rule.
+pub fn check(ws: &Workspace, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if cfg.lock_classes.is_empty() {
+        return;
+    }
+
+    // Global function index: name → definitions.
+    let mut defs: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        for (fj, func) in f.fns.iter().enumerate() {
+            defs.entry(func.name.as_str()).or_default().push((fi, fj));
+        }
+    }
+    let resolve = |name: &str| -> Option<(usize, usize)> {
+        if cfg.call_ignore.contains(name) {
+            return None;
+        }
+        match defs.get(name).map(Vec::as_slice) {
+            Some([one]) => Some(*one),
+            _ => None,
+        }
+    };
+
+    // Classed lock events per function.
+    let mut fn_locks: BTreeMap<(usize, usize), Vec<(String, LockEvent)>> = BTreeMap::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        for (fj, ev) in &f.locks {
+            if let Some(class) = cfg.lock_class_of(&ev.receiver) {
+                fn_locks.entry((fi, *fj)).or_default().push((class, ev.clone()));
+            }
+        }
+    }
+
+    // Transitive acquires per function (fixpoint over the call graph).
+    let mut acquires: BTreeMap<(usize, usize), BTreeSet<String>> = BTreeMap::new();
+    for (k, evs) in &fn_locks {
+        acquires.insert(*k, evs.iter().map(|(c, _)| c.clone()).collect());
+    }
+    loop {
+        let mut changed = false;
+        for (fi, f) in ws.files.iter().enumerate() {
+            for (fj, call) in &f.calls {
+                let Some(callee) = resolve(&call.name) else { continue };
+                let Some(inner) = acquires.get(&callee).cloned() else { continue };
+                let entry = acquires.entry((fi, *fj)).or_default();
+                for c in inner {
+                    changed |= entry.insert(c);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Check each lock event's hold window.
+    for (fi, f) in ws.files.iter().enumerate() {
+        for (fj, func) in f.fns.iter().enumerate() {
+            let _ = func;
+            let Some(evs) = fn_locks.get(&(fi, fj)) else { continue };
+            for (outer_class, outer) in evs {
+                // Direct nesting with another classed acquisition.
+                for (inner_class, inner) in evs {
+                    if inner.pos > outer.pos && inner.pos < outer.held_until {
+                        report_pair(cfg, f, outer_class, inner_class, inner.line, None, out);
+                    }
+                }
+                // Calls made while held.
+                for (cj, call) in &f.calls {
+                    if cj != &fj || call.pos <= outer.pos || call.pos >= outer.held_until {
+                        continue;
+                    }
+                    let Some(callee) = resolve(&call.name) else { continue };
+                    let Some(inner_set) = acquires.get(&callee) else { continue };
+                    for inner_class in inner_set {
+                        report_pair(
+                            cfg,
+                            f,
+                            outer_class,
+                            inner_class,
+                            call.line,
+                            Some(call.name.as_str()),
+                            out,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn report_pair(
+    cfg: &Config,
+    f: &SourceFile,
+    outer: &str,
+    inner: &str,
+    line: u32,
+    via: Option<&str>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let via_txt = via.map(|v| format!(" via call to `{v}`")).unwrap_or_default();
+    if inner == outer {
+        out.push(Diagnostic::deny(
+            RULE,
+            &f.rel,
+            line,
+            format!("re-acquires lock class `{outer}`{via_txt} while it is already held (self-deadlock)"),
+        ));
+    } else if !cfg.order_allows(outer, inner) {
+        let msg = if cfg.order_allows(inner, outer) {
+            format!(
+                "acquires `{inner}`{via_txt} while holding `{outer}`, inverting the declared \
+                 lock order `{inner} < {outer}` (deadlock with any thread taking them in order)"
+            )
+        } else {
+            format!(
+                "acquires `{inner}`{via_txt} while holding `{outer}` with no declared order \
+                 between them; declare `lock-order {outer} {inner}` in crates/lint/lint.conf \
+                 (after checking every other nesting of the pair) or release `{outer}` first"
+            )
+        };
+        out.push(Diagnostic::deny(RULE, &f.rel, line, msg));
+    }
+}

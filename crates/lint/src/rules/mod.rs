@@ -1,0 +1,10 @@
+//! The six repo-specific rules. Each module exposes
+//! `check(ws, cfg, out)` appending [`crate::Diagnostic`]s; suppression
+//! and sorting happen centrally in [`crate::run_scanned`].
+
+pub mod atomics;
+pub mod envvars;
+pub mod locks;
+pub mod panics;
+pub mod store_format;
+pub mod tolerances;

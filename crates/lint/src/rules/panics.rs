@@ -1,0 +1,96 @@
+//! **panic-path**: no `unwrap()`, `expect("…")`, or direct indexing in
+//! functions reachable from the service request path.
+//!
+//! A panic in a worker or accept loop doesn't crash the daemon — it
+//! silently kills one thread, and the service limps on with fewer
+//! workers (or stops accepting) until someone notices latencies. So the
+//! request path must degrade via error responses, not panics.
+//!
+//! Scope: files under the config's `panic-scope` directories. Entries:
+//! the `panic-entry` function names (accept loops, request handlers,
+//! worker loops). Reachability: name-based closure over calls resolving
+//! to functions *defined inside the scope* — std/collection method names
+//! don't resolve and thus don't leak the closure out of the subsystem.
+//! `expect` only counts with a string-literal argument (the JSON
+//! parser's byte-arg `expect(b'{')` method is not a panic).
+
+use crate::config::Config;
+use crate::facts::PanicKind;
+use crate::{Diagnostic, Workspace};
+use std::collections::{HashMap, HashSet};
+
+/// Rule id.
+pub const RULE: &str = "panic-path";
+
+/// Runs the rule.
+pub fn check(ws: &Workspace, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if cfg.panic_entries.is_empty() || cfg.panic_scopes.is_empty() {
+        return;
+    }
+
+    // Functions defined in scope, by name (all definitions — the closure
+    // is conservative: an ambiguous name reaches every definition).
+    let mut defs: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
+    let mut in_scope: Vec<usize> = Vec::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        if !cfg.in_panic_scope(&f.rel) {
+            continue;
+        }
+        in_scope.push(fi);
+        for (fj, func) in f.fns.iter().enumerate() {
+            defs.entry(func.name.as_str()).or_default().push((fi, fj));
+        }
+    }
+
+    // Closure from the entries.
+    let mut reachable: HashSet<(usize, usize)> = HashSet::new();
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for &fi in &in_scope {
+        for (fj, func) in ws.files[fi].fns.iter().enumerate() {
+            if cfg.panic_entries.contains(&func.name) {
+                stack.push((fi, fj));
+            }
+        }
+    }
+    while let Some(node) = stack.pop() {
+        if !reachable.insert(node) {
+            continue;
+        }
+        let (fi, fj) = node;
+        for (cj, call) in &ws.files[fi].calls {
+            if *cj != fj {
+                continue;
+            }
+            if let Some(targets) = defs.get(call.name.as_str()) {
+                for &t in targets {
+                    stack.push(t);
+                }
+            }
+        }
+    }
+
+    for &fi in &in_scope {
+        let f = &ws.files[fi];
+        for site in &f.panics {
+            if !reachable.contains(&(fi, site.fn_idx)) || f.is_test_line(site.line) {
+                continue;
+            }
+            let fname = &f.fns[site.fn_idx].name;
+            let what = match site.kind {
+                PanicKind::Unwrap => "`unwrap()`",
+                PanicKind::Expect => "`expect(\"…\")`",
+                PanicKind::Index => "direct indexing",
+            };
+            out.push(Diagnostic::deny(
+                RULE,
+                &f.rel,
+                site.line,
+                format!(
+                    "{what} in `{fname}`, which is reachable from a service request-path \
+                     entry point: a panic here kills a worker/accept thread silently; \
+                     return an error response (or use a poisoning-tolerant lock helper)"
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Fixture-based rule tests: each rule has a miniature workspace under
+//! `fixtures/` with a failing and a passing snippet, and the test pins
+//! the exact diagnostics (rule id + file + line) the engine must emit.
+//! The store-format test additionally walks the whole edit → bump →
+//! regenerate cycle on a temp copy, and the final test is the dogfood
+//! self-check: the engine over this repository must come back clean.
+
+use reqisc_lint::config::Config;
+use reqisc_lint::{run, update_store_registry, LintOutcome};
+use std::path::{Path, PathBuf};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
+}
+
+fn run_fixture(name: &str) -> LintOutcome {
+    let root = fixture_root(name);
+    let cfg = Config::load(&root.join("lint.conf")).expect("fixture config parses");
+    run(&root, &cfg).expect("fixture run succeeds")
+}
+
+/// `(rule, file, line)` triples, in the engine's deterministic order.
+fn triples(o: &LintOutcome) -> Vec<(String, String, u32)> {
+    o.diagnostics.iter().map(|d| (d.rule.to_string(), d.file.clone(), d.line)).collect()
+}
+
+fn rendered(o: &LintOutcome) -> String {
+    o.diagnostics.iter().map(|d| d.render() + "\n").collect()
+}
+
+#[test]
+fn lock_order_fixture() {
+    let o = run_fixture("lock_order");
+    assert_eq!(
+        triples(&o),
+        vec![
+            ("lock-order".into(), "fail.rs".into(), 5),
+            ("lock-order".into(), "fail.rs".into(), 11),
+        ],
+        "diagnostics were:\n{}",
+        rendered(&o)
+    );
+    assert!(o.diagnostics[0].message.contains("inverting"), "{}", o.diagnostics[0].message);
+    assert!(o.diagnostics[1].message.contains("self-deadlock"), "{}", o.diagnostics[1].message);
+}
+
+#[test]
+fn atomic_ordering_fixture() {
+    let o = run_fixture("atomics");
+    assert_eq!(
+        triples(&o),
+        vec![
+            ("atomic-ordering".into(), "fail.rs".into(), 7),
+            ("atomic-ordering".into(), "fail.rs".into(), 11),
+        ],
+        "diagnostics were:\n{}",
+        rendered(&o)
+    );
+    assert!(o.diagnostics[0].message.contains("SeqCst"), "{}", o.diagnostics[0].message);
+    assert!(
+        o.diagnostics[1].message.contains("no Acquire-side"),
+        "{}",
+        o.diagnostics[1].message
+    );
+}
+
+#[test]
+fn panic_path_fixture() {
+    let o = run_fixture("panics");
+    assert_eq!(
+        triples(&o),
+        vec![
+            ("panic-path".into(), "src/fail.rs".into(), 6),
+            ("panic-path".into(), "src/fail.rs".into(), 7),
+            ("panic-path".into(), "src/fail.rs".into(), 8),
+        ],
+        "diagnostics were:\n{}",
+        rendered(&o)
+    );
+    // The sites sit in `deep`, reached only through the `handle` entry.
+    assert!(o.diagnostics[0].message.contains("`deep`"), "{}", o.diagnostics[0].message);
+}
+
+#[test]
+fn tolerance_literal_fixture() {
+    let o = run_fixture("tolerances");
+    assert_eq!(
+        triples(&o),
+        vec![("tolerance-literal".into(), "fail.rs".into(), 2)],
+        "diagnostics were:\n{}",
+        rendered(&o)
+    );
+    // pass.rs carries one violation under a justified lint:allow.
+    assert_eq!(o.suppressed, 1, "the allow'd literal in pass.rs must count as suppressed");
+}
+
+#[test]
+fn env_registry_fixture() {
+    let o = run_fixture("envvars");
+    assert_eq!(
+        triples(&o),
+        vec![
+            ("env-registry".into(), "src/fail.rs".into(), 2),
+            ("env-registry".into(), "src/registry.rs".into(), 7),
+            ("env-registry".into(), "src/registry.rs".into(), 8),
+        ],
+        "diagnostics were:\n{}",
+        rendered(&o)
+    );
+    assert!(
+        o.diagnostics[0].message.contains("outside the registry"),
+        "{}",
+        o.diagnostics[0].message
+    );
+    assert!(o.diagnostics[1].message.contains("doc line"), "{}", o.diagnostics[1].message);
+    assert!(o.diagnostics[2].message.contains("declared twice"), "{}", o.diagnostics[2].message);
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let dst = to.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &dst);
+        } else {
+            std::fs::copy(entry.path(), &dst).unwrap();
+        }
+    }
+}
+
+fn patch(path: &Path, from: &str, to: &str) {
+    let text = std::fs::read_to_string(path).unwrap();
+    assert!(text.contains(from), "{} does not contain `{from}`", path.display());
+    std::fs::write(path, text.replacen(from, to, 1)).unwrap();
+}
+
+/// The full store-format life cycle on a temp copy of the fixture:
+/// generate → clean; edit the codec without a bump → deny; bump the
+/// version → a single "regenerate" deny; regenerate → clean; change a
+/// registered tolerance constant → deny.
+#[test]
+fn store_format_bump_demo() {
+    let tmp = std::env::temp_dir().join(format!("reqisc-lint-store-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    copy_dir(&fixture_root("store_format"), &tmp);
+    let cfg = Config::load(&tmp.join("lint.conf")).unwrap();
+
+    // Before the registry exists the run aborts loudly (setup error).
+    assert!(run(&tmp, &cfg).is_err(), "missing registry must be a hard error, not a pass");
+
+    update_store_registry(&tmp, &cfg).unwrap();
+    let o = run(&tmp, &cfg).unwrap();
+    assert!(triples(&o).is_empty(), "fresh registry must be clean:\n{}", rendered(&o));
+
+    // 1. Mutate the codec without bumping the version: denied.
+    patch(&tmp.join("src/codec.rs"), "to_le_bytes", "to_be_bytes");
+    let o = run(&tmp, &cfg).unwrap();
+    assert_eq!(
+        triples(&o),
+        vec![("store-format".into(), "src/codec.rs".into(), 1)],
+        "diagnostics were:\n{}",
+        rendered(&o)
+    );
+    assert!(
+        o.diagnostics[0].message.contains("without a STORE_FORMAT_VERSION bump"),
+        "{}",
+        o.diagnostics[0].message
+    );
+
+    // 2. Bump the version: one diagnostic telling you to regenerate.
+    patch(&tmp.join("src/store.rs"), "STORE_FORMAT_VERSION: u32 = 1", "STORE_FORMAT_VERSION: u32 = 2");
+    let o = run(&tmp, &cfg).unwrap();
+    assert_eq!(
+        triples(&o),
+        vec![("store-format".into(), "src/store.rs".into(), 1)],
+        "diagnostics were:\n{}",
+        rendered(&o)
+    );
+    assert!(o.diagnostics[0].message.contains("regenerate"), "{}", o.diagnostics[0].message);
+
+    // 3. Regenerate as part of the bump commit: clean again.
+    update_store_registry(&tmp, &cfg).unwrap();
+    let o = run(&tmp, &cfg).unwrap();
+    assert!(triples(&o).is_empty(), "post-bump regenerate must be clean:\n{}", rendered(&o));
+
+    // 4. Changing a registered tolerance constant is a format change too.
+    patch(&tmp.join("src/store.rs"), "SNAP_TOL: f64 = 1e-8", "SNAP_TOL: f64 = 1e-6");
+    let o = run(&tmp, &cfg).unwrap();
+    assert_eq!(
+        triples(&o),
+        vec![("store-format".into(), "src/store.rs".into(), 2)],
+        "diagnostics were:\n{}",
+        rendered(&o)
+    );
+    assert!(o.diagnostics[0].message.contains("collide"), "{}", o.diagnostics[0].message);
+
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+/// Dogfood: the analyzer over its own workspace must come back clean —
+/// this is the same gate CI runs with `--deny-all`.
+#[test]
+fn workspace_self_check_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().unwrap();
+    let cfg = reqisc_lint::load_workspace_config(&root).expect("workspace lint.conf parses");
+    let o = run(&root, &cfg).expect("workspace run succeeds");
+    assert!(
+        o.diagnostics.is_empty(),
+        "the workspace must lint clean; found:\n{}",
+        rendered(&o)
+    );
+    assert!(o.files_scanned > 50, "self-check scanned suspiciously few files");
+}

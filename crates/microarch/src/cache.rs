@@ -100,6 +100,7 @@ impl std::fmt::Display for CacheStats {
 /// can only under-count the left side of each ≤, never over-count it.
 /// (With `Relaxed` the loads could be satisfied out of order on
 /// weak-memory targets and the argument would not hold.)
+// lint:allow-file(atomic-ordering, SeqCst is load-bearing in this file — the total-order argument above is what makes CacheStats::is_consistent hold under concurrent snapshots; see the Counters doc)
 #[derive(Debug, Default)]
 struct Counters {
     hits: AtomicU64,
@@ -524,7 +525,11 @@ impl PulseCache {
         w: &WeylCoord,
         r: f64,
     ) -> Result<(Arc<SolvedClass>, bool), SolveError> {
-        if w.is_near_identity(r) && w.l1_norm() > 1e-12 {
+        /// Coordinates with an ℓ₁ norm at or below this are *exactly*
+        /// the identity class; mirroring them would manufacture a SWAP
+        /// for a no-op.
+        const MIRROR_MIN_L1: f64 = 1e-12;
+        if w.is_near_identity(r) && w.l1_norm() > MIRROR_MIN_L1 {
             let mc = crate::scheme::canonicalize_coords(&w.mirror())?;
             Ok((self.solve(cp, &mc)?, true))
         } else {
@@ -629,7 +634,11 @@ impl PulseCache {
 /// Encodes a [`SolvedClass`] for the persistent compile store: the pulse
 /// program fields in declaration order, then the evolution KAK. Field
 /// order and tag values are frozen (see `reqisc_qmath::bytes`); changes
-/// require a store format-version bump.
+/// require a store format-version bump — the region below is
+/// fingerprinted into `crates/lint/store_surface.lock` by the
+/// `reqisc-lint` store-format rule, which denies edits made without the
+/// bump.
+// lint:store-surface-begin
 pub fn write_solved_class(w: &mut reqisc_qmath::ByteWriter, s: &SolvedClass) {
     let p = &s.pulse;
     w.put_f64(p.tau);
@@ -683,6 +692,7 @@ pub fn read_solved_class(
         evo_kak,
     })
 }
+// lint:store-surface-end
 
 #[cfg(test)]
 mod tests {

@@ -11,6 +11,7 @@
 //! controller's nominal model — the controller only observes realized
 //! unitaries, exactly like an experiment.
 
+// lint:allow-file(tolerance-literal, calibration fit convergence guards local to this module)
 use crate::coupling::Coupling;
 use crate::solver::PulseParams;
 use reqisc_qmath::gates::{id2, pauli_x, pauli_z};

@@ -7,6 +7,7 @@
 //! `a ≥ b ≥ |c|`, by an SVD of its 3×3 two-local Pauli coefficient matrix
 //! (Bennett et al. / Dür et al. canonicalization).
 
+// lint:allow-file(tolerance-literal, coupling-model degeneracy guards local to this module)
 use reqisc_qmath::eig::eig_real_symmetric;
 use reqisc_qmath::gates::{id2, pauli_x, pauli_y, pauli_z};
 use reqisc_qmath::{expm, CMat, C64};

@@ -12,6 +12,7 @@
 //! `τ₊ = (x+y−z)/(a+b−c)` ⇔ antisymmetric drive (`Ω₁ = 0`), **EA−** ⇔
 //! `τ₋ = (x+y+z)/(a+b+c)` ⇔ symmetric drive (`Ω₂ = 0`).
 
+// lint:allow-file(tolerance-literal, pulse-scheme residual and branch guards local to the solve path)
 use crate::coupling::Coupling;
 use crate::duration::{optimal_duration, Duration, Image};
 use crate::solver::{evolve, residual, solve_ea_profiled, solve_nd, EaSign, EaSolveProfile, PulseParams};

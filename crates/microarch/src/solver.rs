@@ -44,6 +44,7 @@
 //! `e^{-iτ(H + H₁ + H₂)}` exactly as before; returned solutions are
 //! sorted by the physical implementation penalty `|Ω| + |δ|`.
 
+// lint:allow-file(tolerance-literal, solver-internal convergence and root-bracketing epsilons; the cache-key contract tolerances live in qmath as KAK_FACE_SNAP_TOL / SU4_CLASS_TOL)
 use crate::coupling::Coupling;
 use reqisc_qmath::gates::{id2, pauli_x, pauli_z};
 use reqisc_qmath::weyl::WeylCoord;

@@ -10,6 +10,7 @@
 //!   commuting real symmetric matrices, the workhorse of the canonical (KAK)
 //!   decomposition in [`crate::kak`].
 
+// lint:allow-file(tolerance-literal, eigensolver convergence and deflation guards; pure numerics)
 use crate::c64::{C64, ONE, ZERO};
 use crate::mat::CMat;
 

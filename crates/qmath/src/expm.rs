@@ -4,6 +4,7 @@
 //! `e^{-i(H + H₁ + H₂)τ}` exactly. Since every Hamiltonian here is Hermitian
 //! the exponential is computed spectrally via [`crate::eig::eig_hermitian`].
 
+// lint:allow-file(tolerance-literal, series-truncation guard; pure numerics)
 use crate::c64::C64;
 use crate::eig::eig_hermitian;
 use crate::mat::CMat;

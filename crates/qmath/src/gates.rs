@@ -225,15 +225,18 @@ pub fn canonical_gate(x: f64, y: f64, z: f64) -> CMat {
 /// assert!(rec.approx_eq(&hadamard(), 1e-12));
 /// ```
 pub fn zyz_decompose(u: &CMat) -> (f64, f64, f64, f64) {
+    /// Amplitude below which a matrix entry is treated as exactly zero
+    /// when choosing the θ = π branch and resolving phase ambiguities.
+    const ZYZ_ZERO_TOL: f64 = 1e-9;
     assert!(u.rows() == 2 && u.is_unitary(1e-8), "zyz expects a 2x2 unitary");
     let a = u[(0, 0)];
     let c = u[(1, 0)];
     let theta = 2.0 * c.abs().atan2(a.abs());
-    if a.abs() > 1e-9 {
+    if a.abs() > ZYZ_ZERO_TOL {
         let gamma = a.arg();
-        let phi = if c.abs() > 1e-9 { c.arg() - gamma } else { 0.0 };
+        let phi = if c.abs() > ZYZ_ZERO_TOL { c.arg() - gamma } else { 0.0 };
         let b = u[(0, 1)];
-        let lambda = if b.abs() > 1e-9 { (-b).arg() - gamma } else { u[(1, 1)].arg() - gamma - phi };
+        let lambda = if b.abs() > ZYZ_ZERO_TOL { (-b).arg() - gamma } else { u[(1, 1)].arg() - gamma - phi };
         (theta, phi, lambda, gamma)
     } else {
         // θ = π: U = e^{iγ}[[0, -e^{iλ}], [e^{iφ}, 0]]; split freely (γ=0).

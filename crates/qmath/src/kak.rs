@@ -338,6 +338,14 @@ impl Canon<'_> {
 /// any change must bump the store format version.
 pub const KAK_FACE_SNAP_TOL: f64 = 1e-8;
 
+/// How far below zero `z` must sit (on the `x = π/4` face) before the
+/// face rule bothers to flip it — values inside this band are noise.
+const FACE_Z_GUARD: f64 = 1e-12;
+
+/// Coordinates with magnitude under this are snapped to exactly `0.0`
+/// on output so `-0.0` never leaks into cache keys or display.
+const COORD_ZERO_SNAP: f64 = 1e-14;
+
 /// Moves the coordinates of `kak` into the canonical Weyl chamber while
 /// preserving the reconstructed unitary up to ~[`KAK_FACE_SNAP_TOL`]:
 /// coordinates within that tolerance of the `x = π/4` face are pinned to
@@ -378,7 +386,7 @@ fn canonicalize(kak: &mut Kak) {
         }
         // 4. Face rule: on x = π/4 require z ≥ 0 (tolerance must be at
         // least as wide as `in_chamber`'s WEYL_EPS).
-        if (c.coord(0) - FRAC_PI_4).abs() < KAK_FACE_SNAP_TOL && c.coord(2) < -1e-12 {
+        if (c.coord(0) - FRAC_PI_4).abs() < KAK_FACE_SNAP_TOL && c.coord(2) < -FACE_Z_GUARD {
             // (π/4, y, z<0) → negate (x,z) → (-π/4, y, -z) → shift x up.
             c.negate_other_two(1);
             c.shift(0, 1.0);
@@ -396,7 +404,7 @@ fn canonicalize(kak: &mut Kak) {
     }
     // Snap tiny negative zeros for tidy output.
     for v in [&mut kak.coords.x, &mut kak.coords.y, &mut kak.coords.z] {
-        if v.abs() < 1e-14 {
+        if v.abs() < COORD_ZERO_SNAP {
             *v = 0.0;
         }
     }

@@ -4,6 +4,7 @@
 //! matrices and canonical gates become diagonal — the foundation of the KAK
 //! decomposition in [`crate::kak`].
 
+// lint:allow-file(tolerance-literal, basis-transform degeneracy guards; pure numerics)
 use crate::c64::{C64, I, ONE, ZERO};
 use crate::mat::CMat;
 use crate::gates::{pauli_x, pauli_y, pauli_z};

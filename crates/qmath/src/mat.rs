@@ -5,6 +5,7 @@
 //! path is 4×4 and 8×8), so a simple contiguous representation with `O(n³)`
 //! kernels is both adequate and easy to verify.
 
+// lint:allow-file(tolerance-literal, pivot underflow guard; pure numerics)
 use crate::c64::{C64, ONE, ZERO};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};

@@ -6,6 +6,7 @@
 //! provides it via a one-sided Jacobi SVD, which is accurate even for
 //! rank-deficient environments.
 
+// lint:allow-file(tolerance-literal, Jacobi rotation convergence guards; pure numerics)
 use crate::c64::{C64, ONE};
 use crate::mat::CMat;
 

@@ -237,6 +237,7 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        // lint:allow(panic-path, pos is clamped to bytes.len() by the scanner)
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(v)
@@ -309,6 +310,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
             out.push_str(
+                // lint:allow(panic-path, start..pos only advances past peek()-checked bytes)
                 std::str::from_utf8(&self.bytes[start..self.pos])
                     .map_err(|_| self.err("invalid utf-8 in string"))?,
             );
@@ -368,6 +370,7 @@ impl<'a> Parser<'a> {
         if self.pos + 4 > self.bytes.len() {
             return Err(self.err("truncated \\u escape"));
         }
+        // lint:allow(panic-path, pos+4 <= len checked immediately above)
         let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
             .map_err(|_| self.err("bad \\u escape"))?;
         let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
@@ -398,7 +401,9 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // lint:allow(panic-path, start..pos only advances past peek()-checked bytes)
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
         text.parse::<f64>().map(Json::Num).map_err(|_| self.err("bad number"))
     }
 }

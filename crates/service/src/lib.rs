@@ -45,6 +45,7 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod service;
+pub mod sync;
 
 pub use json::{Json, JsonError};
 pub use protocol::{
@@ -61,14 +62,12 @@ pub use service::{
 /// The cache-directory environment variable every consumer of the
 /// persistent store honours (`reqiscd --cache-dir` defaults to it, and
 /// the bench binaries read it through `reqisc_bench`'s delegating
-/// helper) — one name, one parse, identical semantics everywhere.
-pub const CACHE_DIR_ENV: &str = "REQISC_CACHE_DIR";
+/// helper) — declared once in the [`reqisc_env`] registry; this is the
+/// service-local alias.
+pub const CACHE_DIR_ENV: &str = reqisc_env::CACHE_DIR.name;
 
-/// Reads [`CACHE_DIR_ENV`]: `None` when unset or empty.
+/// Reads [`CACHE_DIR_ENV`] through the registry knob: `None` when unset
+/// or empty.
 pub fn cache_dir_from_env() -> Option<std::path::PathBuf> {
-    let v = std::env::var_os(CACHE_DIR_ENV)?;
-    if v.is_empty() {
-        return None;
-    }
-    Some(std::path::PathBuf::from(v))
+    reqisc_env::CACHE_DIR.path()
 }

@@ -9,6 +9,7 @@
 //! completion order deterministic under a single worker — the property
 //! the queue-semantics tests pin.
 
+use crate::sync::LockRecover;
 use std::collections::BinaryHeap;
 use std::sync::{Condvar, Mutex};
 
@@ -105,7 +106,7 @@ impl<T> JobQueue<T> {
     /// [`QueueFull`] at capacity; also when the queue is closed (a
     /// draining service admits nothing new).
     pub fn try_push(&self, item: T, priority: Priority) -> Result<(), QueueFull> {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = self.state.lock_recover();
         if st.closed || st.heap.len() >= self.capacity {
             return Err(QueueFull { capacity: self.capacity });
         }
@@ -121,7 +122,7 @@ impl<T> JobQueue<T> {
     /// one if none is queued. Returns `None` once the queue is closed
     /// *and* drained — the worker-exit signal.
     pub fn pop(&self) -> Option<T> {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = self.state.lock_recover();
         loop {
             if let Some(e) = st.heap.pop() {
                 return Some(e.item);
@@ -129,7 +130,7 @@ impl<T> JobQueue<T> {
             if st.closed {
                 return None;
             }
-            st = self.available.wait(st).expect("queue poisoned");
+            st = crate::sync::wait_recover(&self.available, st);
         }
     }
 
@@ -141,7 +142,7 @@ impl<T> JobQueue<T> {
     /// O(n) heap rebuild under the lock — queues are small by
     /// construction (bounded capacity).
     pub fn boost(&self, pred: impl Fn(&T) -> bool, priority: Priority) -> bool {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = self.state.lock_recover();
         let mut entries: Vec<Entry<T>> = std::mem::take(&mut st.heap).into_vec();
         let mut boosted = false;
         for e in &mut entries {
@@ -160,7 +161,7 @@ impl<T> JobQueue<T> {
     /// disconnected must not occupy a worker or a queue slot. O(n) heap
     /// rebuild under the lock — queues are small by construction.
     pub fn remove_first(&self, pred: impl Fn(&T) -> bool) -> bool {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = self.state.lock_recover();
         let entries: Vec<Entry<T>> = std::mem::take(&mut st.heap).into_vec();
         let mut removed = false;
         let kept: Vec<Entry<T>> = entries
@@ -181,13 +182,13 @@ impl<T> JobQueue<T> {
     /// Closes the queue: future pushes reject, workers drain what is
     /// queued and then see `None`.
     pub fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        self.state.lock_recover().closed = true;
         self.available.notify_all();
     }
 
     /// Queued (not yet popped) job count.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").heap.len()
+        self.state.lock_recover().heap.len()
     }
 
     /// True when nothing is queued.

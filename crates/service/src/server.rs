@@ -18,7 +18,8 @@ use crate::protocol::{
 };
 use crate::json::Json;
 use crate::queue::DEFAULT_PRIORITY;
-use crate::service::{DebugOp, Service, SnapshotReport, SubmitError, Ticket};
+use crate::service::{DebugOp, JobDone, Service, SnapshotReport, SubmitError, Ticket};
+use crate::sync::LockRecover;
 use std::io::{BufRead, Write};
 
 /// What one connection's request stream did.
@@ -75,6 +76,7 @@ fn read_line_bounded(
         match buf.iter().position(|&b| b == b'\n') {
             Some(i) => {
                 if !overflow {
+                    // lint:allow(panic-path, i comes from position() over this very buffer)
                     line.extend_from_slice(&buf[..i]);
                 }
                 r.consume(i + 1);
@@ -157,7 +159,11 @@ pub fn serve_lines(
             }
         }
         drop(tx);
-        let write_result = responder.join().expect("responder panicked");
+        // A panicked responder must not take the reader down with it:
+        // surface it as an I/O error on this connection instead.
+        let write_result = responder.join().unwrap_or_else(|_| {
+            Err(std::io::Error::other("responder thread panicked"))
+        });
         (read_result, write_result)
     });
     read_result?;
@@ -253,9 +259,14 @@ fn respond_loop(
             Pending::Compile { id, ticket } => {
                 let coalesced = ticket.coalesced;
                 match ticket.wait() {
-                    Ok(done) => {
-                        let c = done.circuit.expect("compile jobs carry a circuit");
+                    Ok(JobDone { circuit: Some(c), .. }) => {
                         compile_response(id, c.content_hash(), &service.metrics(&c), coalesced)
+                    }
+                    // A compile job always carries a circuit; answering
+                    // `internal` beats panicking the responder if that
+                    // invariant ever breaks.
+                    Ok(JobDone { circuit: None, .. }) => {
+                        error_response(id, "internal", "compile job returned no circuit")
                     }
                     Err(e) => error_response(id, "compile_failed", e),
                 }
@@ -312,7 +323,7 @@ pub fn serve_unix(service: &Service, socket_path: &std::path::Path) -> std::io::
         std::sync::Mutex::new(Vec::new());
     let result = std::thread::scope(|scope| loop {
         if service.shutdown_requested() {
-            for s in conns.lock().expect("conn list poisoned").iter() {
+            for s in conns.lock_recover().iter() {
                 let _ = s.shutdown(std::net::Shutdown::Both);
             }
             return Ok(());
@@ -320,7 +331,7 @@ pub fn serve_unix(service: &Service, socket_path: &std::path::Path) -> std::io::
         match listener.accept() {
             Ok((stream, _)) => {
                 if let Ok(clone) = stream.try_clone() {
-                    conns.lock().expect("conn list poisoned").push(clone);
+                    conns.lock_recover().push(clone);
                 }
                 scope.spawn(move || {
                     if stream.set_nonblocking(false).is_err() {

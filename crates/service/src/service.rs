@@ -31,6 +31,7 @@
 
 use crate::protocol::{CompileSource, ServiceCounters, StatsSnapshot};
 use crate::queue::{JobQueue, Priority, QueueFull};
+use crate::sync::LockRecover;
 use reqisc_compiler::{
     CacheStore, CompactOutcome, CompileCache, Compiler, LoadOutcome, Pipeline,
 };
@@ -158,7 +159,7 @@ impl std::fmt::Debug for WaiterGuard {
 
 impl Drop for WaiterGuard {
     fn drop(&mut self) {
-        let mut inflight = self.inner.inflight.lock().expect("inflight map poisoned");
+        let mut inflight = self.inner.inflight.lock_recover();
         let Some(waiters) = inflight.get_mut(&self.key) else {
             return; // job already completed (or cancelled by a peer)
         };
@@ -182,7 +183,7 @@ impl Drop for WaiterGuard {
             .queue
             .remove_first(|job| matches!(job, Job::Compile { key: k, .. } if *k == key))
         {
-            self.inner.counters.cancelled.fetch_add(1, Ordering::SeqCst);
+            self.inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
         }
         drop(inflight);
     }
@@ -243,21 +244,20 @@ impl Inner {
                     let out = catch_unwind(AssertUnwindSafe(|| {
                         self.compiler.compile(&circuit, pipeline)
                     }));
-                    let done_seq = self.done_seq.fetch_add(1, Ordering::SeqCst) + 1;
+                    let done_seq = self.done_seq.fetch_add(1, Ordering::Relaxed) + 1;
                     let result: JobResult = match out {
                         Ok(c) => {
-                            self.counters.completed.fetch_add(1, Ordering::SeqCst);
+                            self.counters.completed.fetch_add(1, Ordering::Relaxed);
                             Ok(JobDone { circuit: Some(Arc::new(c)), done_seq })
                         }
                         Err(p) => {
-                            self.counters.failed.fetch_add(1, Ordering::SeqCst);
+                            self.counters.failed.fetch_add(1, Ordering::Relaxed);
                             Err(format!("compile panicked: {}", panic_message(&p)))
                         }
                     };
                     let waiters = self
                         .inflight
-                        .lock()
-                        .expect("inflight map poisoned")
+                        .lock_recover()
                         .remove(&key)
                         .unwrap_or_default();
                     for (_, tx) in waiters {
@@ -267,8 +267,8 @@ impl Inner {
                 }
                 Job::Sleep { ms, tx } => {
                     std::thread::sleep(Duration::from_millis(ms));
-                    let done_seq = self.done_seq.fetch_add(1, Ordering::SeqCst) + 1;
-                    self.counters.completed.fetch_add(1, Ordering::SeqCst);
+                    let done_seq = self.done_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                    self.counters.completed.fetch_add(1, Ordering::Relaxed);
                     let _ = tx.send(Ok(JobDone { circuit: None, done_seq }));
                 }
                 Job::Panic { tx } => {
@@ -276,8 +276,8 @@ impl Inner {
                     // pipeline panics take — the poisoned-job drill.
                     let out = catch_unwind(|| panic!("debug panic op"));
                     debug_assert!(out.is_err());
-                    self.done_seq.fetch_add(1, Ordering::SeqCst);
-                    self.counters.failed.fetch_add(1, Ordering::SeqCst);
+                    self.done_seq.fetch_add(1, Ordering::Relaxed);
+                    self.counters.failed.fetch_add(1, Ordering::Relaxed);
                     let _ = tx.send(Err("compile panicked: debug panic op".into()));
                 }
             }
@@ -289,8 +289,8 @@ impl Inner {
         let Some(store) = &self.store else {
             return Ok(SnapshotReport::NoStore);
         };
-        let _guard = self.store_lock.lock().expect("store lock poisoned");
-        self.counters.snapshots.fetch_add(1, Ordering::SeqCst);
+        let _guard = self.store_lock.lock_recover();
+        self.counters.snapshots.fetch_add(1, Ordering::Relaxed);
         match gc_override.or(self.gc_max_idle_gens) {
             Some(max_idle) => {
                 let o = store.compact(self.compiler.cache(), max_idle)?;
@@ -393,11 +393,11 @@ impl Service {
             let inner = inner.clone();
             std::thread::spawn(move || {
                 let (lock, cv) = &inner.timer_stop;
-                let mut stopped = lock.lock().expect("timer lock poisoned");
+                let mut stopped = lock.lock_recover();
                 loop {
                     let (guard, timeout) = cv
                         .wait_timeout(stopped, interval)
-                        .expect("timer lock poisoned");
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     stopped = guard;
                     if *stopped {
                         break;
@@ -470,12 +470,12 @@ impl Service {
             options: self.inner.compiler.options_fingerprint(),
         };
         let (tx, rx) = mpsc::channel();
-        let waiter_id = self.inner.waiter_seq.fetch_add(1, Ordering::SeqCst);
+        let waiter_id = self.inner.waiter_seq.fetch_add(1, Ordering::Relaxed);
         let guard = Some(WaiterGuard { inner: self.inner.clone(), key, id: waiter_id });
         // The inflight lock spans the queue push so a worker finishing the
         // job (which takes the same lock to collect waiters) can never
         // interleave between "queued" and "registered".
-        let mut inflight = self.inner.inflight.lock().expect("inflight map poisoned");
+        let mut inflight = self.inner.inflight.lock_recover();
         if let Some(waiters) = inflight.get_mut(&key) {
             waiters.push((waiter_id, tx));
             // A more urgent duplicate must not wait at the original
@@ -485,18 +485,18 @@ impl Service {
                 |job| matches!(job, Job::Compile { key: k, .. } if *k == key),
                 priority,
             );
-            self.inner.counters.coalesced.fetch_add(1, Ordering::SeqCst);
-            self.inner.counters.submitted.fetch_add(1, Ordering::SeqCst);
+            self.inner.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+            self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
             return Ok(Ticket { rx, coalesced: true, _guard: guard });
         }
         match self.inner.queue.try_push(Job::Compile { key, circuit, pipeline }, priority) {
             Ok(()) => {
                 inflight.insert(key, vec![(waiter_id, tx)]);
-                self.inner.counters.submitted.fetch_add(1, Ordering::SeqCst);
+                self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
                 Ok(Ticket { rx, coalesced: false, _guard: guard })
             }
             Err(full) => {
-                self.inner.counters.rejected_queue_full.fetch_add(1, Ordering::SeqCst);
+                self.inner.counters.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
                 Err(SubmitError::QueueFull(full))
             }
         }
@@ -519,11 +519,11 @@ impl Service {
         };
         match self.inner.queue.try_push(job, priority) {
             Ok(()) => {
-                self.inner.counters.submitted.fetch_add(1, Ordering::SeqCst);
+                self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
                 Ok(Ticket { rx, coalesced: false, _guard: None })
             }
             Err(full) => {
-                self.inner.counters.rejected_queue_full.fetch_add(1, Ordering::SeqCst);
+                self.inner.counters.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
                 Err(SubmitError::QueueFull(full))
             }
         }
@@ -540,13 +540,13 @@ impl Service {
         let c = &self.inner.counters;
         StatsSnapshot {
             service: ServiceCounters {
-                submitted: c.submitted.load(Ordering::SeqCst),
-                completed: c.completed.load(Ordering::SeqCst),
-                failed: c.failed.load(Ordering::SeqCst),
-                coalesced: c.coalesced.load(Ordering::SeqCst),
-                rejected_queue_full: c.rejected_queue_full.load(Ordering::SeqCst),
-                cancelled: c.cancelled.load(Ordering::SeqCst),
-                snapshots: c.snapshots.load(Ordering::SeqCst),
+                submitted: c.submitted.load(Ordering::Relaxed),
+                completed: c.completed.load(Ordering::Relaxed),
+                failed: c.failed.load(Ordering::Relaxed),
+                coalesced: c.coalesced.load(Ordering::Relaxed),
+                rejected_queue_full: c.rejected_queue_full.load(Ordering::Relaxed),
+                cancelled: c.cancelled.load(Ordering::Relaxed),
+                snapshots: c.snapshots.load(Ordering::Relaxed),
                 queue_depth: self.inner.queue.len() as u64,
             },
             cache: self.inner.compiler.cache_stats(),
@@ -568,8 +568,8 @@ impl Service {
         let Some(store) = &self.inner.store else {
             return Ok(SnapshotReport::NoStore);
         };
-        let _guard = self.inner.store_lock.lock().expect("store lock poisoned");
-        self.inner.counters.snapshots.fetch_add(1, Ordering::SeqCst);
+        let _guard = self.inner.store_lock.lock_recover();
+        self.inner.counters.snapshots.fetch_add(1, Ordering::Relaxed);
         let n = store.save(self.inner.compiler.cache())?;
         Ok(SnapshotReport::Saved { entries: n })
     }
@@ -589,29 +589,29 @@ impl Service {
     /// True once a protocol `shutdown` request has been accepted (the
     /// transport accept loops poll this).
     pub fn shutdown_requested(&self) -> bool {
-        self.inner.shutdown_requested.load(Ordering::SeqCst)
+        self.inner.shutdown_requested.load(Ordering::Acquire)
     }
 
     /// Marks shutdown as requested (called by the protocol layer).
     pub fn request_shutdown(&self) {
-        self.inner.shutdown_requested.store(true, Ordering::SeqCst);
+        self.inner.shutdown_requested.store(true, Ordering::Release);
     }
 
     /// Graceful shutdown: stop admitting, drain the queue, join every
     /// worker and the snapshot timer, then flush the store. Idempotent.
     pub fn shutdown(&self) {
-        if self.stopped.swap(true, Ordering::SeqCst) {
+        if self.stopped.swap(true, Ordering::AcqRel) {
             return;
         }
         self.request_shutdown();
         self.inner.queue.close();
-        for h in self.workers.lock().expect("worker list poisoned").drain(..) {
+        for h in self.workers.lock_recover().drain(..) {
             let _ = h.join();
         }
         let (lock, cv) = &self.inner.timer_stop;
-        *lock.lock().expect("timer lock poisoned") = true;
+        *lock.lock_recover() = true;
         cv.notify_all();
-        if let Some(h) = self.timer.lock().expect("timer handle poisoned").take() {
+        if let Some(h) = self.timer.lock_recover().take() {
             let _ = h.join();
         }
         if let Err(e) = self.inner.snapshot(None) {

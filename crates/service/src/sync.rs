@@ -1,0 +1,59 @@
+//! Poisoning-tolerant lock helpers for the request path.
+//!
+//! A panicking compile job is already isolated by `catch_unwind` in the
+//! worker loop, but any *other* panic while one of the service's locks
+//! is held (allocation failure mid-push, a bug in a predicate closure)
+//! poisons the mutex — and with plain `.expect("poisoned")` every later
+//! request touching that lock panics too, silently killing worker and
+//! connection threads one by one until the daemon is a zombie. The
+//! `reqisc-lint` `panic-path` rule forbids that pattern.
+//!
+//! Recovery is sound here because every structure guarded by these locks
+//! stays structurally valid at any panic point: the queue swaps its heap
+//! out with `mem::take` and reassigns a rebuilt vector, the inflight map
+//! and connection list are plain collections whose individual operations
+//! are atomic with respect to panics, and the store lock guards `()`.
+//! Worst case after a recovered poisoning is a *lost entry* (a job that
+//! never ran), which the protocol already surfaces as an error response
+//! — strictly better than a creeping thread die-off.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Extension trait: acquire a [`Mutex`], recovering the guard from a
+/// poisoned lock instead of panicking.
+pub trait LockRecover<T> {
+    /// Locks, treating poisoning as recoverable.
+    fn lock_recover(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> LockRecover<T> for Mutex<T> {
+    fn lock_recover(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// [`Condvar::wait`] with the same poisoning tolerance.
+pub fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn recovers_from_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*m.lock_recover(), 7, "value still reachable after poisoning");
+        *m.lock_recover() = 9;
+        assert_eq!(*m.lock_recover(), 9);
+    }
+}

@@ -9,6 +9,7 @@
 //! Nelder–Mead on the Weyl-coordinate residual, and the exact outer locals
 //! come from two canonical decompositions.
 
+// lint:allow-file(tolerance-literal, template-matching score thresholds local to synthesis search)
 use reqisc_qcircuit::embed;
 use reqisc_qmath::gates::u3;
 use reqisc_qmath::weyl::WeylCoord;

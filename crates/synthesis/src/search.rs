@@ -6,6 +6,7 @@
 //! pair fuse into one, so such sequences are redundant). The first
 //! structure that instantiates below the precision threshold wins.
 
+// lint:allow-file(tolerance-literal, search pruning threshold local to synthesis)
 use crate::sweep::{instantiate, BlockCircuit, Structure, SweepOptions};
 use reqisc_qmath::CMat;
 

@@ -7,6 +7,7 @@
 //! same environment-sweep trick as [`crate::sweep`], with 2×2 polar
 //! updates.
 
+// lint:allow-file(tolerance-literal, skeleton-fit residual thresholds local to synthesis)
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use reqisc_qcircuit::embed;

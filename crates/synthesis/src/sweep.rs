@@ -9,6 +9,7 @@
 //! (§5.1.1), reaching machine-precision infidelity when the structure is
 //! expressive enough.
 
+// lint:allow-file(tolerance-literal, sweep dedup epsilon local to synthesis)
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use reqisc_qcircuit::embed;

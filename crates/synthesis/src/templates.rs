@@ -8,6 +8,7 @@
 //! permutability, and then assembles programs from the library with
 //! constant per-gate cost (and constant calibration overhead).
 
+// lint:allow-file(tolerance-literal, template canonicalization guards local to synthesis)
 use crate::search::{synthesize, SearchOptions};
 use crate::sweep::BlockCircuit;
 use reqisc_qcircuit::{embed, Circuit, Gate};
