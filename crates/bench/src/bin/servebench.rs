@@ -1,8 +1,9 @@
 //! Measures the compile *service* end to end: per-request latency
-//! (submit → response) and throughput through the full queue → coalesce
-//! → worker → cache path, cold versus warm.
+//! (submit → response) and throughput through the full staged pipeline
+//! (submission ring → lookup → solve ring → workers → completion ring),
+//! cold versus warm.
 //!
-//! Three passes over `programs × {ReqiscEff, ReqiscFull}`:
+//! Four passes over `programs × {ReqiscEff, ReqiscFull}`:
 //!
 //! * **cold** — fresh service, every request pays its compile (or joins
 //!   an in-flight duplicate);
@@ -10,24 +11,38 @@
 //!   interactive-caller view of a resident warm cache (p50/p99 are the
 //!   protocol + lookup overhead, microseconds not seconds);
 //! * **warm pipelined** — all requests submitted before any is awaited:
-//!   the throughput ceiling (req/s).
+//!   the throughput ceiling (req/s);
+//! * **mixed** — a batch of never-seen cold variants is submitted first
+//!   and NOT awaited, then every warm request rides through the
+//!   congested service serially. The staged-pipeline proof is the stage
+//!   counters, not wall time: the warm requests must all short-circuit
+//!   in the lookup stage (`lookup_hits` delta == warm count) and never
+//!   be claimed by a solve worker (`solve_claimed` delta == cold count).
 //!
 //! Environment knobs (shared semantics — see `reqisc_bench::env`):
 //!
 //! * `REQISC_SCALE=paper` — Table-1-sized programs;
 //! * `REQISC_BENCH_N=<k>` — cap the program count (default 24);
-//! * `REQISC_SERVE_WORKERS=<n>` — worker pool size (default hardware);
+//! * `REQISC_SERVE_WORKERS=<n>` — solve worker pool size (default
+//!   hardware);
+//! * `REQISC_SERVE_LOOKUP_WORKERS=<n>` — lookup-stage workers (default 1);
 //! * `REQISC_CACHE_DIR=<dir>` — persist/load the store in `<dir>` (the
-//!   service loads it at startup, so a second run starts disk-warm).
+//!   service loads it at startup, so a second run starts disk-warm);
+//! * `REQISC_BENCH_JSON=<path>` — write the machine-readable results
+//!   (tier rows + mixed-tier counter deltas + the final stats snapshot);
+//! * `REQISC_REQUIRE_ZERO_WARM_SOLVES=1` — CI assertion: fail unless the
+//!   mixed tier's counter deltas prove zero warm jobs entered the solve
+//!   stage.
 //!
 //! Note the single-core container caveat (ROADMAP): wall-clocks here are
-//! indicative; the counters (hits, coalesced) are the portable signal.
+//! indicative; the counters (hits, coalesced, stage deltas) are the
+//! portable signal.
 
 use reqisc_bench::{env, env_cache_dir};
 use reqisc_benchsuite::{scale_from_env, suite, Benchmark};
 use reqisc_compiler::Pipeline;
-use reqisc_qcircuit::Circuit;
-use reqisc_service::{Service, ServiceConfig, Ticket};
+use reqisc_qcircuit::{Circuit, Gate};
+use reqisc_service::{Json, Service, ServiceConfig, Ticket};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -39,16 +54,23 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[idx]
 }
 
-fn row(pass: &str, latencies_ms: &mut [f64], total_s: f64) {
+fn row(pass: &str, latencies_ms: &mut [f64], total_s: f64) -> Json {
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let req_per_s = latencies_ms.len() as f64 / total_s.max(1e-9);
+    let p50 = percentile(latencies_ms, 50.0);
+    let p99 = percentile(latencies_ms, 99.0);
     println!(
-        "{pass},{},{:.3},{:.1},{:.3},{:.3}",
+        "{pass},{},{total_s:.3},{req_per_s:.1},{p50:.3},{p99:.3}",
         latencies_ms.len(),
-        total_s,
-        latencies_ms.len() as f64 / total_s.max(1e-9),
-        percentile(latencies_ms, 50.0),
-        percentile(latencies_ms, 99.0),
     );
+    Json::obj(vec![
+        ("pass", Json::str(pass)),
+        ("requests", Json::num_u64(latencies_ms.len() as u64)),
+        ("total_s", Json::Num(total_s)),
+        ("req_per_s", Json::Num(req_per_s)),
+        ("p50_ms", Json::Num(p50)),
+        ("p99_ms", Json::Num(p99)),
+    ])
 }
 
 fn main() {
@@ -71,10 +93,13 @@ fn main() {
 
     let service = Service::start(ServiceConfig {
         workers,
+        lookup_workers: env::SERVE_LOOKUP_WORKERS.usize_or(1),
         cache_dir: env_cache_dir(),
-        // Pass 3 submits the whole batch before awaiting anything; the
-        // queue must admit it all or the bench would measure rejections.
-        queue_capacity: jobs.len().max(256),
+        // Pass 3 submits the whole batch before awaiting anything, and
+        // pass 4 keeps a full cold batch in flight while warm traffic
+        // rides through; admission must cover both or the bench would
+        // measure rejections.
+        queue_capacity: (2 * jobs.len()).max(256),
         ..ServiceConfig::default()
     });
     if let Some(outcome) = service.startup_load() {
@@ -82,6 +107,7 @@ fn main() {
     }
 
     println!("pass,requests,total_s,req_per_s,p50_ms,p99_ms");
+    let mut tiers: Vec<Json> = Vec::new();
 
     // Pass 1: cold, serial (per-request latency as an interactive caller
     // sees it the first time).
@@ -98,7 +124,7 @@ fn main() {
         lat.push(t.elapsed().as_secs_f64() * 1e3);
         fingerprints.push(done.circuit.expect("circuit").content_hash());
     }
-    row("cold", &mut lat, t0.elapsed().as_secs_f64());
+    tiers.push(row("cold", &mut lat, t0.elapsed().as_secs_f64()));
 
     // Pass 2: warm, serial.
     let mut lat = Vec::with_capacity(jobs.len());
@@ -117,7 +143,7 @@ fn main() {
             "warm result diverged from cold"
         );
     }
-    row("warm_serial", &mut lat, t0.elapsed().as_secs_f64());
+    tiers.push(row("warm_serial", &mut lat, t0.elapsed().as_secs_f64()));
 
     // Pass 3: warm, fully pipelined (throughput ceiling; duplicates of
     // in-flight work coalesce).
@@ -135,7 +161,89 @@ fn main() {
         assert_eq!(done.circuit.expect("circuit").content_hash(), fingerprints[i]);
         lat.push(0.0); // per-request latency is not meaningful pipelined
     }
-    row("warm_pipelined", &mut lat, t0.elapsed().as_secs_f64());
+    tiers.push(row("warm_pipelined", &mut lat, t0.elapsed().as_secs_f64()));
+
+    // Pass 4: mixed cold/warm — the staged-pipeline proof. A full batch
+    // of never-seen cold variants (each program plus one extra uniquely
+    // parameterised gate, so every content hash is a true miss) is
+    // submitted and NOT awaited; the warm requests then ride through the
+    // congested service serially. Counters, not wall time, carry the
+    // claim: every warm request must short-circuit in the lookup stage,
+    // and only the cold variants may be claimed by solve workers.
+    let s0 = service.stats_snapshot();
+    let cold_variants: Vec<(Arc<Circuit>, Pipeline)> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, (c, p))| {
+            let mut v = (**c).clone();
+            v.push(Gate::Rz(0, 0.1015625 + i as f64 * 1e-3));
+            (Arc::new(v), *p)
+        })
+        .collect();
+    let t0 = Instant::now();
+    let cold_tickets: Vec<Ticket> = cold_variants
+        .iter()
+        .map(|(c, p)| {
+            service
+                .submit_compile(c.clone(), *p, reqisc_service::DEFAULT_PRIORITY)
+                .expect("submit mixed cold")
+        })
+        .collect();
+    let mut lat = Vec::with_capacity(jobs.len());
+    let mut warm_seqs = Vec::with_capacity(jobs.len());
+    for (i, (c, p)) in jobs.iter().enumerate() {
+        let t = Instant::now();
+        let done = service
+            .submit_compile(c.clone(), *p, reqisc_service::DEFAULT_PRIORITY)
+            .expect("submit mixed warm")
+            .wait()
+            .expect("compile mixed warm");
+        lat.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            done.circuit.expect("circuit").content_hash(),
+            fingerprints[i],
+            "mixed warm result diverged"
+        );
+        warm_seqs.push(done.done_seq);
+    }
+    let warm_total_s = t0.elapsed().as_secs_f64();
+    let mut cold_seqs = Vec::with_capacity(cold_tickets.len());
+    for t in cold_tickets {
+        let done = t.wait().expect("compile mixed cold");
+        assert!(done.circuit.is_some(), "mixed cold produced no circuit");
+        cold_seqs.push(done.done_seq);
+    }
+    tiers.push(row("mixed_warm", &mut lat, warm_total_s));
+
+    let s1 = service.stats_snapshot();
+    let warm_n = warm_seqs.len() as u64;
+    let cold_n = cold_seqs.len() as u64;
+    let d_hits = s1.stages.lookup_hits - s0.stages.lookup_hits;
+    let d_misses = s1.stages.lookup_misses - s0.stages.lookup_misses;
+    let d_claimed = s1.stages.solve_claimed - s0.stages.solve_claimed;
+    let d_prog_misses = s1.cache.programs.misses - s0.cache.programs.misses;
+    // Delivery order: all colds were submitted before any warm, so every
+    // warm delivered before the last cold "overtook" cold traffic — the
+    // fast path visibly not queueing behind the solve stage.
+    let last_cold = cold_seqs.iter().copied().max().unwrap_or(0);
+    let warm_overtakes = warm_seqs.iter().filter(|&&w| w < last_cold).count() as u64;
+    let zero_warm_solves = d_hits == warm_n && d_misses == cold_n && d_claimed == cold_n;
+    println!(
+        "# mixed: {warm_n} warm + {cold_n} cold | lookup_hits +{d_hits} lookup_misses \
+         +{d_misses} solve_claimed +{d_claimed} program_misses +{d_prog_misses} | \
+         {warm_overtakes} warm completions overtook the cold batch"
+    );
+    if env::REQUIRE_ZERO_WARM_SOLVES.flag() {
+        if !zero_warm_solves {
+            eprintln!(
+                "ASSERTION FAILED: warm traffic traversed the solve stage \
+                 (lookup_hits +{d_hits} want +{warm_n}, lookup_misses +{d_misses} want \
+                 +{cold_n}, solve_claimed +{d_claimed} want +{cold_n})"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("# assertion passed: zero warm jobs entered the solve stage");
+    }
 
     let s = service.stats_snapshot();
     println!("# service: submitted {} completed {} coalesced {} rejected {}",
@@ -143,8 +251,36 @@ fn main() {
         s.service.rejected_queue_full);
     println!("# programs pool: {}", s.cache.programs);
     println!("# synthesis pool: {}", s.cache.synthesis);
-    if let Some(st) = s.store {
+    if let Some(st) = &s.store {
         println!("# store: {st}");
+    }
+
+    if let Some(path) = env::BENCH_JSON.path() {
+        let mixed = Json::obj(vec![
+            ("warm_requests", Json::num_u64(warm_n)),
+            ("cold_requests", Json::num_u64(cold_n)),
+            ("lookup_hits_delta", Json::num_u64(d_hits)),
+            ("lookup_misses_delta", Json::num_u64(d_misses)),
+            ("solve_claimed_delta", Json::num_u64(d_claimed)),
+            ("program_misses_delta", Json::num_u64(d_prog_misses)),
+            ("warm_overtakes", Json::num_u64(warm_overtakes)),
+            ("zero_warm_solves", Json::Bool(zero_warm_solves)),
+        ]);
+        let doc = Json::obj(vec![
+            ("bench", Json::str("servebench")),
+            ("programs", Json::num_u64(programs.len() as u64)),
+            ("requests", Json::num_u64(jobs.len() as u64)),
+            ("tiers", Json::Arr(tiers)),
+            ("mixed", mixed),
+            ("stats", s.to_json()),
+        ]);
+        match std::fs::write(&path, doc.emit() + "\n") {
+            Ok(()) => eprintln!("# wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
     service.shutdown();
 }

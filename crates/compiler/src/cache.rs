@@ -129,6 +129,15 @@ impl CompileCache {
         self.programs.get(key)
     }
 
+    /// Hit-only-counted lookup of a memoized whole-program compilation
+    /// (see [`ShardedMap::probe`]): a present entry counts a hit and
+    /// returns; an absent one counts nothing, leaving the miss to the
+    /// eventual [`Compiler::compile`](crate::Compiler::compile) that does
+    /// the cold work. The service's pipeline lookup stage is the caller.
+    pub(crate) fn probe_program(&self, key: &ProgramKey) -> Option<Arc<Circuit>> {
+        self.programs.probe(key)
+    }
+
     /// Stores a finished whole-program compilation.
     pub(crate) fn put_program(&self, key: ProgramKey, out: Arc<Circuit>) {
         self.programs.insert(key, out);

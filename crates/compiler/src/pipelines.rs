@@ -176,6 +176,26 @@ impl Compiler {
         self.cache.stats()
     }
 
+    /// Warm-path probe of the whole-program pool by precomputed key
+    /// parts: a resident compilation returns immediately (counted as one
+    /// pool hit, entry marked most-recently-used); absence counts
+    /// **nothing** and returns `None`, leaving the miss accounting to the
+    /// [`Compiler::compile`] call that eventually does the cold work.
+    /// This is the service pipeline's lookup stage entry point — it must
+    /// never synthesize, solve, or otherwise block, and its counters must
+    /// compose with a later `compile` to exactly one hit *or* one miss
+    /// per job.
+    pub fn lookup_program(
+        &self,
+        circuit_hash: u128,
+        pipeline: Pipeline,
+        options_fp: u128,
+    ) -> Option<Arc<Circuit>> {
+        let key =
+            crate::cache::ProgramKey { circuit: circuit_hash, pipeline, options: options_fp };
+        self.cache.probe_program(&key)
+    }
+
     /// Cold-path solver counters behind the pulse pool: how much
     /// boundary-curve work the EA solver did across every class miss this
     /// compiler served. Deterministic (no wall clocks), so benches and CI

@@ -107,6 +107,24 @@ pub const SERVE_WORKERS: EnvKnob = EnvKnob {
     doc: "servebench service worker-pool size (default 0 = hardware parallelism)",
 };
 
+/// Lookup-stage worker count of the pipelined service core.
+pub const SERVE_LOOKUP_WORKERS: EnvKnob = EnvKnob {
+    name: "REQISC_SERVE_LOOKUP_WORKERS",
+    doc: "Pipeline lookup-stage worker count for reqiscd and servebench (default 1)",
+};
+
+/// Deterministic cold-solve stall for the stall-isolation tests.
+pub const DEBUG_SOLVE_DELAY_MS: EnvKnob = EnvKnob {
+    name: "REQISC_DEBUG_SOLVE_DELAY_MS",
+    doc: "Milliseconds a solve worker sleeps before each cold compile it claims (stall-isolation drills; default 0 = off)",
+};
+
+/// Where `servebench` writes its machine-readable results.
+pub const BENCH_JSON: EnvKnob = EnvKnob {
+    name: "REQISC_BENCH_JSON",
+    doc: "Path servebench writes its BENCH_*.json results to (unset/empty = no JSON emitted)",
+};
+
 /// Skip `cachebench`'s slow serial reference column.
 pub const SKIP_SERIAL: EnvKnob = EnvKnob {
     name: "REQISC_SKIP_SERIAL",
@@ -149,6 +167,12 @@ pub const REQUIRE_ZERO_REJECT_EVALS: EnvKnob = EnvKnob {
     doc: "solverbench assertion: set = the wrong-subscheme reject tier must cost exactly 0 evaluations",
 };
 
+/// CI assertion: warm jobs must never traverse the solve stage.
+pub const REQUIRE_ZERO_WARM_SOLVES: EnvKnob = EnvKnob {
+    name: "REQISC_REQUIRE_ZERO_WARM_SOLVES",
+    doc: "servebench mixed-tier assertion: set = every warm request must short-circuit in the lookup stage (zero warm solve claims)",
+};
+
 /// Every declared knob, in the order the README table presents them.
 pub const ALL: &[&EnvKnob] = &[
     &CACHE_DIR,
@@ -158,6 +182,9 @@ pub const ALL: &[&EnvKnob] = &[
     &BENCH_N,
     &THREADS,
     &SERVE_WORKERS,
+    &SERVE_LOOKUP_WORKERS,
+    &DEBUG_SOLVE_DELAY_MS,
+    &BENCH_JSON,
     &SKIP_SERIAL,
     &REQUIRE_DISK_WARM_X,
     &REQUIRE_PROGRAM_HIT_PCT,
@@ -165,6 +192,7 @@ pub const ALL: &[&EnvKnob] = &[
     &REQUIRE_GENERIC_BUDGET,
     &REQUIRE_DEGENERATE_BUDGET,
     &REQUIRE_ZERO_REJECT_EVALS,
+    &REQUIRE_ZERO_WARM_SOLVES,
 ];
 
 /// The README "Environment variables" table, generated from [`ALL`] so

@@ -323,6 +323,28 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedMap<K, V> {
         }
     }
 
+    /// Hit-only-counted lookup: on a hit it behaves exactly like
+    /// [`ShardedMap::get`] (counts the hit, marks the entry
+    /// most-recently-used); on absence it counts **nothing** and returns
+    /// `None`. The service's pipeline lookup stage probes the program
+    /// pool with this so a miss routed to the solve stage — whose
+    /// `compile()` performs the real, counted `get` — still accounts for
+    /// exactly one miss per cold job, and [`CacheStats::is_consistent`]
+    /// (`inserts ≤ misses`) stays true.
+    pub fn probe(&self, key: &K) -> Option<V> {
+        let found = {
+            let shard = self.shard_of(key).read().expect("cache shard poisoned");
+            shard.get(key).map(|slot| {
+                slot.last_used.store(self.next_tick(), Ordering::SeqCst);
+                slot.value.clone()
+            })
+        };
+        if found.is_some() {
+            self.counters.hits.fetch_add(1, Ordering::SeqCst);
+        }
+        found
+    }
+
     /// Inserts `key → value`, evicting the least-recently-used resident
     /// entry first when the shard is at capacity. Never-used (seeded)
     /// entries carry tick `0`, so bulk-loaded entries are evicted before

@@ -15,7 +15,12 @@
 //!   `socat`-style supervision);
 //! * `--cache-dir DIR` — persistent store directory (default: the
 //!   `REQISC_CACHE_DIR` environment variable; no store when both unset);
-//! * `--workers N` — worker pool size (0 = hardware parallelism);
+//! * `--workers N` — solve worker pool size (0 = hardware parallelism);
+//! * `--lookup-workers N` — lookup-stage worker count (default: the
+//!   `REQISC_SERVE_LOOKUP_WORKERS` environment knob, else 1);
+//! * `--solve-delay-ms MS` — park every solve worker for MS before each
+//!   cold compile it claims (stall-isolation drills; default: the
+//!   `REQISC_DEBUG_SOLVE_DELAY_MS` environment knob, else off);
 //! * `--queue-capacity N` — bounded queue size (default 256);
 //! * `--snapshot-secs S` — periodic store snapshot interval (default 30;
 //!   0 disables the timer — the store still flushes on shutdown);
@@ -41,8 +46,9 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: reqiscd [--socket PATH | --stdio | --compact-now] [--cache-dir DIR] \
-         [--workers N] [--queue-capacity N] [--snapshot-secs S] [--gc-idle-gens N] \
-         [--pool-shards N] [--pool-capacity N] [--debug-ops]"
+         [--workers N] [--lookup-workers N] [--solve-delay-ms MS] [--queue-capacity N] \
+         [--snapshot-secs S] [--gc-idle-gens N] [--pool-shards N] [--pool-capacity N] \
+         [--debug-ops]"
     );
     std::process::exit(2);
 }
@@ -55,6 +61,7 @@ fn parse_args() -> Args {
         config: ServiceConfig {
             cache_dir: cache_dir_from_env(),
             snapshot_interval: Some(Duration::from_secs(30)),
+            lookup_workers: reqisc_env::SERVE_LOOKUP_WORKERS.usize_or(1),
             ..ServiceConfig::default()
         },
     };
@@ -74,6 +81,14 @@ fn parse_args() -> Args {
             "--compact-now" => args.compact_now = true,
             "--cache-dir" => args.config.cache_dir = Some(PathBuf::from(val("--cache-dir"))),
             "--workers" => args.config.workers = parse_num(&val("--workers"), "--workers"),
+            "--lookup-workers" => {
+                args.config.lookup_workers =
+                    parse_num(&val("--lookup-workers"), "--lookup-workers")
+            }
+            "--solve-delay-ms" => {
+                args.config.solve_delay_ms =
+                    Some(parse_num(&val("--solve-delay-ms"), "--solve-delay-ms"))
+            }
             "--queue-capacity" => {
                 args.config.queue_capacity = parse_num(&val("--queue-capacity"), "--queue-capacity")
             }

@@ -12,13 +12,17 @@
 //!
 //! The subsystem owns:
 //!
-//! * a **bounded priority job queue** with non-blocking admission control
-//!   ([`queue`]) — overload rejects with `queue_full`, never stalls the
-//!   accept loop;
+//! * a **staged pipeline core** ([`service`]): submission ring → lookup
+//!   stage (warm hits short-circuit straight to the completion ring) →
+//!   solve ring → solve workers → completion ring → dispatcher, so a
+//!   warm hit never queues behind a cold solve;
+//! * **bounded priority rings** with non-blocking admission control
+//!   ([`queue`], [`ring`]) — overload rejects with `queue_full`, never
+//!   stalls the accept loop;
 //! * **in-flight request coalescing** keyed by `(circuit content hash,
 //!   pipeline, options fingerprint)` — N identical concurrent requests
 //!   cost one compile and N responses ([`service`]);
-//! * a **worker pool** sized like [`reqisc_compiler::Compiler`]'s
+//! * a **solve worker pool** sized like [`reqisc_compiler::Compiler`]'s
 //!   `block_threads` (0 = hardware parallelism);
 //! * **cache lifecycle management**: store load at startup, periodic and
 //!   on-shutdown snapshots, and GC/compaction
@@ -43,15 +47,18 @@
 pub mod json;
 pub mod protocol;
 pub mod queue;
+pub mod ring;
 pub mod server;
 pub mod service;
 pub mod sync;
 
 pub use json::{Json, JsonError};
 pub use protocol::{
-    parse_request, CompileSource, Request, RequestBody, ServiceCounters, StatsSnapshot,
+    parse_request, CompileSource, Request, RequestBody, RingCounters as StageRingCounters,
+    ServiceCounters, StageCounters, StatsSnapshot,
 };
-pub use queue::{JobQueue, Priority, QueueFull, DEFAULT_PRIORITY, MAX_PRIORITY};
+pub use queue::{JobQueue, Priority, QueueFull, RingStats, TryPop, DEFAULT_PRIORITY, MAX_PRIORITY};
+pub use ring::FifoRing;
 pub use server::{serve_lines, ServeOutcome};
 #[cfg(unix)]
 pub use server::serve_unix;

@@ -25,7 +25,7 @@
 //! One JSON object per line, in request order per connection:
 //!
 //! ```text
-//! {"id":1,"ok":true,"op":"compile","fingerprint":"6b86…","count_2q":1,"depth_2q":1,"duration_g":2.22,"coalesced":false}
+//! {"id":1,"ok":true,"op":"compile","fingerprint":"6b86…","count_2q":1,"depth_2q":1,"duration_g":2.22,"coalesced":false,"done_seq":1}
 //! {"id":3,"ok":true,"op":"stats","stats":{…}}
 //! {"id":9,"ok":false,"error":"queue_full","detail":"queue full (capacity 256)"}
 //! ```
@@ -147,12 +147,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     Ok(Request { id, body })
 }
 
-/// Builds a successful compile response.
+/// Builds a successful compile response. `done_seq` is the service's
+/// global completion sequence number — the deterministic order handle
+/// the stall-isolation tests assert with (warm short-circuits must get
+/// lower numbers than the cold solves they overtook).
 pub fn compile_response(
     id: u64,
     fingerprint: u128,
     metrics: &Metrics,
     coalesced: bool,
+    done_seq: u64,
 ) -> Json {
     Json::obj(vec![
         ("id", Json::num_u64(id)),
@@ -163,6 +167,7 @@ pub fn compile_response(
         ("depth_2q", Json::num_u64(metrics.depth_2q as u64)),
         ("duration_g", Json::Num(metrics.duration)),
         ("coalesced", Json::Bool(coalesced)),
+        ("done_seq", Json::num_u64(done_seq)),
     ])
 }
 
@@ -209,11 +214,56 @@ pub struct ServiceCounters {
     pub queue_depth: u64,
 }
 
+/// Transit counters of one pipeline ring, as reported in the `stages`
+/// member of the `stats` JSON. `dequeued` counts every entry that left
+/// the ring — claimed by a stage worker or removed by cancellation — so
+/// `enqueued == dequeued + depth` always holds at a quiescent snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingCounters {
+    /// Entries accepted into the ring.
+    pub enqueued: u64,
+    /// Entries that left the ring (claimed or cancelled).
+    pub dequeued: u64,
+    /// Entries resident right now (gauge).
+    pub depth: u64,
+    /// Total in-ring residence of claimed entries, microseconds
+    /// (informational wall-clock — never CI-asserted).
+    pub wait_us: u64,
+}
+
+/// Per-stage counters of the pipelined service core: the three rings'
+/// transit counters plus the stage-transition scalars. The load-bearing
+/// deterministic invariants (what the stall-isolation test and the mixed
+/// servebench tier assert): a warm workload moves `lookup_hits` and
+/// **not** `solve_claimed`; `delivered == completed + failed`; and every
+/// admitted compile job ends in exactly one of `lookup_hits`,
+/// `lookup_misses`, or `cancelled`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCounters {
+    /// The submission ring (everything submitted lands here first).
+    pub submission: RingCounters,
+    /// The solve ring (true misses and debug ops only).
+    pub solve: RingCounters,
+    /// The completion ring (warm hits + solved jobs, FIFO to delivery).
+    pub completion: RingCounters,
+    /// Compile jobs the lookup stage short-circuited on a warm pool hit
+    /// (these never entered the solve stage).
+    pub lookup_hits: u64,
+    /// Compile jobs the lookup stage forwarded to the solve ring.
+    pub lookup_misses: u64,
+    /// Jobs (of any kind) claimed by a solve worker.
+    pub solve_claimed: u64,
+    /// Completions the dispatcher delivered.
+    pub delivered: u64,
+}
+
 /// Everything the `stats` op reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StatsSnapshot {
     /// Service-level queue/coalescing counters.
     pub service: ServiceCounters,
+    /// Per-stage pipeline counters.
+    pub stages: StageCounters,
     /// Compile-cache pool counters.
     pub cache: CompileCacheStats,
     /// Store counters (`None` when the service runs without a store).
@@ -250,6 +300,50 @@ fn solver_stats_from(v: &Json) -> Result<SolverStats, String> {
         interior_roots: f("interior_roots")?,
         early_rejects: f("early_rejects")?,
         degenerate_targets: f("degenerate_targets")?,
+    })
+}
+
+fn ring_counters_json(r: &RingCounters) -> Json {
+    Json::obj(vec![
+        ("enqueued", Json::num_u64(r.enqueued)),
+        ("dequeued", Json::num_u64(r.dequeued)),
+        ("depth", Json::num_u64(r.depth)),
+        ("wait_us", Json::num_u64(r.wait_us)),
+    ])
+}
+
+fn ring_counters_from(v: &Json) -> Result<RingCounters, String> {
+    let f = |k: &str| v.get(k).and_then(Json::as_u64).ok_or(format!("missing counter '{k}'"));
+    Ok(RingCounters {
+        enqueued: f("enqueued")?,
+        dequeued: f("dequeued")?,
+        depth: f("depth")?,
+        wait_us: f("wait_us")?,
+    })
+}
+
+fn stage_counters_json(s: &StageCounters) -> Json {
+    Json::obj(vec![
+        ("submission", ring_counters_json(&s.submission)),
+        ("solve", ring_counters_json(&s.solve)),
+        ("completion", ring_counters_json(&s.completion)),
+        ("lookup_hits", Json::num_u64(s.lookup_hits)),
+        ("lookup_misses", Json::num_u64(s.lookup_misses)),
+        ("solve_claimed", Json::num_u64(s.solve_claimed)),
+        ("delivered", Json::num_u64(s.delivered)),
+    ])
+}
+
+fn stage_counters_from(v: &Json) -> Result<StageCounters, String> {
+    let f = |k: &str| v.get(k).and_then(Json::as_u64).ok_or(format!("missing counter '{k}'"));
+    Ok(StageCounters {
+        submission: ring_counters_from(v.get("submission").ok_or("missing 'submission'")?)?,
+        solve: ring_counters_from(v.get("solve").ok_or("missing 'solve'")?)?,
+        completion: ring_counters_from(v.get("completion").ok_or("missing 'completion'")?)?,
+        lookup_hits: f("lookup_hits")?,
+        lookup_misses: f("lookup_misses")?,
+        solve_claimed: f("solve_claimed")?,
+        delivered: f("delivered")?,
     })
 }
 
@@ -290,6 +384,7 @@ impl StatsSnapshot {
                     ("queue_depth", Json::num_u64(sc.queue_depth)),
                 ]),
             ),
+            ("stages", stage_counters_json(&self.stages)),
             (
                 "cache",
                 Json::obj(vec![
@@ -335,6 +430,7 @@ impl StatsSnapshot {
             snapshots: f("snapshots")?,
             queue_depth: f("queue_depth")?,
         };
+        let stages = stage_counters_from(v.get("stages").ok_or("missing 'stages'")?)?;
         let cv = v.get("cache").ok_or("missing 'cache'")?;
         let cache = CompileCacheStats {
             programs: cache_stats_from(cv.get("programs").ok_or("missing 'programs'")?)?,
@@ -357,7 +453,7 @@ impl StatsSnapshot {
                 })
             }
         };
-        Ok(StatsSnapshot { service, cache, store })
+        Ok(StatsSnapshot { service, stages, cache, store })
     }
 }
 
@@ -418,6 +514,15 @@ mod tests {
                 cancelled: 5,
                 snapshots: 4,
                 queue_depth: 1,
+            },
+            stages: StageCounters {
+                submission: RingCounters { enqueued: 10, dequeued: 9, depth: 1, wait_us: 120 },
+                solve: RingCounters { enqueued: 6, dequeued: 6, depth: 0, wait_us: 90 },
+                completion: RingCounters { enqueued: 9, dequeued: 9, depth: 0, wait_us: 15 },
+                lookup_hits: 3,
+                lookup_misses: 6,
+                solve_claimed: 6,
+                delivered: 9,
             },
             cache: CompileCacheStats {
                 programs: CacheStats { hits: 5, misses: 3, inserts: 3, evictions: 1 },

@@ -11,7 +11,9 @@
 
 use crate::sync::LockRecover;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// Job priority: `0` (batch) to `9` (interactive); the default is
 /// [`Priority::DEFAULT`]. Higher values are served first.
@@ -39,9 +41,54 @@ impl std::fmt::Display for QueueFull {
 
 impl std::error::Error for QueueFull {}
 
+/// Monotone transit counters of one ring, as reported under the `stages`
+/// member of the service's `stats` JSON. `dequeued` counts every entry
+/// that *left* the ring — popped by a stage worker or removed by ticket
+/// cancellation — so `enqueued == dequeued` exactly when the ring is
+/// empty. `wait_us` accumulates in-ring residence time (microseconds) of
+/// popped entries only; it is informational (wall-clock) and never
+/// CI-asserted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Entries accepted into the ring.
+    pub enqueued: u64,
+    /// Entries that left the ring (popped or cancelled).
+    pub dequeued: u64,
+    /// Total in-ring residence of popped entries, microseconds.
+    pub wait_us: u64,
+}
+
+#[derive(Default)]
+struct RingCounters {
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+    wait_us: AtomicU64,
+}
+
+impl RingCounters {
+    fn snapshot(&self) -> RingStats {
+        RingStats {
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            dequeued: self.dequeued.load(Ordering::Relaxed),
+            wait_us: self.wait_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Outcome of a non-blocking [`JobQueue::try_pop`].
+pub enum TryPop<T> {
+    /// A job, with the (possibly boosted) priority it was queued at.
+    Job(T, Priority),
+    /// Nothing queued right now; the queue is still open.
+    Empty,
+    /// Closed and drained — the stage-worker exit signal.
+    Closed,
+}
+
 struct Entry<T> {
     priority: Priority,
     seq: u64,
+    at: Instant,
     item: T,
 }
 
@@ -77,6 +124,7 @@ pub struct JobQueue<T> {
     state: Mutex<State<T>>,
     available: Condvar,
     capacity: usize,
+    counters: RingCounters,
 }
 
 impl<T> JobQueue<T> {
@@ -91,7 +139,13 @@ impl<T> JobQueue<T> {
             state: Mutex::new(State { heap: BinaryHeap::new(), closed: false, seq: 0 }),
             available: Condvar::new(),
             capacity,
+            counters: RingCounters::default(),
         }
+    }
+
+    /// Snapshot of this ring's transit counters (see [`RingStats`]).
+    pub fn ring_stats(&self) -> RingStats {
+        self.counters.snapshot()
     }
 
     /// The configured capacity.
@@ -112,10 +166,16 @@ impl<T> JobQueue<T> {
         }
         let seq = st.seq;
         st.seq += 1;
-        st.heap.push(Entry { priority, seq, item });
+        st.heap.push(Entry { priority, seq, at: Instant::now(), item });
         drop(st);
+        self.counters.enqueued.fetch_add(1, Ordering::Relaxed);
         self.available.notify_one();
         Ok(())
+    }
+
+    fn record_pop(&self, at: Instant) {
+        self.counters.dequeued.fetch_add(1, Ordering::Relaxed);
+        self.counters.wait_us.fetch_add(at.elapsed().as_micros() as u64, Ordering::Relaxed);
     }
 
     /// Blocking worker pop: returns the highest-priority job, waiting for
@@ -125,11 +185,42 @@ impl<T> JobQueue<T> {
         let mut st = self.state.lock_recover();
         loop {
             if let Some(e) = st.heap.pop() {
+                drop(st);
+                self.record_pop(e.at);
                 return Some(e.item);
             }
             if st.closed {
                 return None;
             }
+            st = crate::sync::wait_recover(&self.available, st);
+        }
+    }
+
+    /// Non-blocking pop for a stage worker that must hold another lock
+    /// across the claim (the pipeline's lookup stage holds the inflight
+    /// map): returns the job *with the priority it was queued at* so the
+    /// claimer can forward it downstream at the same priority, or reports
+    /// [`TryPop::Empty`] / [`TryPop::Closed`] without waiting.
+    pub fn try_pop(&self) -> TryPop<T> {
+        let mut st = self.state.lock_recover();
+        if let Some(e) = st.heap.pop() {
+            drop(st);
+            self.record_pop(e.at);
+            return TryPop::Job(e.item, e.priority);
+        }
+        if st.closed {
+            TryPop::Closed
+        } else {
+            TryPop::Empty
+        }
+    }
+
+    /// Blocks until the queue is non-empty or closed (without popping) —
+    /// the companion a [`JobQueue::try_pop`] loop parks on once it has
+    /// released whatever other lock it held across the claim.
+    pub fn wait_nonempty(&self) {
+        let mut st = self.state.lock_recover();
+        while st.heap.is_empty() && !st.closed {
             st = crate::sync::wait_recover(&self.available, st);
         }
     }
@@ -176,6 +267,12 @@ impl<T> JobQueue<T> {
             })
             .collect();
         st.heap = kept.into();
+        drop(st);
+        if removed {
+            // A cancelled entry left the ring: count the departure (but
+            // no wait time — it was never claimed by a worker).
+            self.counters.dequeued.fetch_add(1, Ordering::Relaxed);
+        }
         removed
     }
 

@@ -259,9 +259,13 @@ fn respond_loop(
             Pending::Compile { id, ticket } => {
                 let coalesced = ticket.coalesced;
                 match ticket.wait() {
-                    Ok(JobDone { circuit: Some(c), .. }) => {
-                        compile_response(id, c.content_hash(), &service.metrics(&c), coalesced)
-                    }
+                    Ok(JobDone { circuit: Some(c), done_seq }) => compile_response(
+                        id,
+                        c.content_hash(),
+                        &service.metrics(&c),
+                        coalesced,
+                        done_seq,
+                    ),
                     // A compile job always carries a circuit; answering
                     // `internal` beats panicking the responder if that
                     // invariant ever breaks.

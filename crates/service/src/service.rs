@@ -1,36 +1,77 @@
-//! The resident compile service: a worker pool draining a bounded
-//! priority queue through a shared [`Compiler`], with in-flight request
-//! coalescing and persistent-store lifecycle management (periodic and
-//! on-shutdown snapshots, optional GC/compaction).
+//! The resident compile service, structured as a staged pipeline
+//! (CXLMemUring's async-offload-with-completion-queue idiom applied to
+//! compile serving):
+//!
+//! ```text
+//!  submit ──► submission ring ──► lookup stage ──► solve ring ──► solve workers
+//!                (bounded,          (probe the       (bounded,      (catch_unwind
+//!                 priority)          program pool)    priority)      compile)
+//!                                        │ warm hit                     │
+//!                                        ▼                              ▼
+//!                                   completion ring (FIFO) ◄────────────┘
+//!                                        │
+//!                                        ▼
+//!                                   dispatcher (assigns done_seq, counts
+//!                                   completed/failed, wakes the waiters)
+//! ```
+//!
+//! The lookup stage probes the whole-program pool without ever
+//! synthesizing or solving (DAXFS's reader-never-blocks-writer
+//! discipline): a **warm hit short-circuits straight to the completion
+//! ring** and never touches the solve stage, so a warm response can
+//! never queue behind a concurrent cold solve. Only true misses cross
+//! into the solve ring, where the expensive workers run the pipeline
+//! (filling the synthesis/pulse pools that make the *next* miss of the
+//! same blocks cheaper). A single dispatcher drains the completion ring
+//! in FIFO order, assigns the global `done_seq` at delivery time, and
+//! wakes every coalesced waiter — which makes completion order exactly
+//! delivery order, deterministically.
+//!
+//! ## Admission
+//!
+//! The bounded capacity is enforced by one `in_system` gauge counting
+//! jobs admitted but not yet claimed (by a solve worker), warm-served,
+//! or cancelled — physically such a job sits in the submission ring, the
+//! lookup stage's hand, or the solve ring. Because solve-ring occupancy
+//! can never exceed `in_system`, the stage-to-stage transfer can never
+//! reject, and the `queue_depth` gauge keeps its pre-pipeline meaning.
 //!
 //! ## Coalescing
 //!
 //! Jobs are keyed by `(circuit content hash, pipeline, options
 //! fingerprint)` — exactly the whole-program cache key — so N identical
-//! concurrent requests occupy **one** queue slot and one worker: the
-//! first submission enqueues, the rest attach to the in-flight entry and
-//! all N receive the one result. (A request arriving *after* the job
-//! completed is not coalesced; it is a plain program-pool cache hit.)
-//! A duplicate hotter than the queued original boosts the queued job to
-//! its priority, so coalescing never inverts the priority contract.
+//! concurrent requests occupy **one** admission slot: the first
+//! submission enqueues, the rest attach to the in-flight entry and all N
+//! receive the one result. (A request arriving *after* the job completed
+//! is not coalesced; it is a plain warm hit.) A duplicate hotter than
+//! the queued original boosts the queued job — in whichever ring it
+//! currently sits — so coalescing never inverts the priority contract.
 //!
 //! ## Cancellation
 //!
-//! A client that disconnects while its job is still queued used to orphan
-//! the ticket — harmless, but the compile still ran. Every ticket now
-//! carries a waiter guard: dropping the last ticket attached to a queued
-//! job removes the job from the queue (freeing its slot for admission)
-//! and counts it under `cancelled` in `stats`. A job already claimed by a
-//! worker is past cancellation and simply completes with nobody waiting.
+//! Every ticket carries a waiter guard: dropping the last ticket
+//! attached to a still-ringed job removes the job from its ring
+//! (freeing its admission slot) and counts it under `cancelled`. The
+//! inflight lock is held across the lookup stage's entire
+//! claim-and-route transfer *and* across the guard's removal, so at any
+//! instant under that lock a compile job is in exactly one place — the
+//! cancellation race between the rings does not exist. A job already
+//! claimed by a solve worker (or already warm-served onto the
+//! completion ring) is past cancellation and completes with nobody
+//! waiting.
 //!
 //! ## Failure isolation
 //!
 //! A panicking pipeline (or the gated debug `panic` op) is caught per
-//! job: every attached waiter gets an error response, the `failed`
-//! counter ticks, and the worker survives to take the next job.
+//! job in the solve worker: the dispatcher delivers an error to every
+//! attached waiter, the `failed` counter ticks, and the worker survives
+//! to take the next job.
 
-use crate::protocol::{CompileSource, ServiceCounters, StatsSnapshot};
-use crate::queue::{JobQueue, Priority, QueueFull};
+use crate::protocol::{
+    CompileSource, RingCounters, ServiceCounters, StageCounters, StatsSnapshot,
+};
+use crate::queue::{JobQueue, Priority, QueueFull, RingStats, TryPop};
+use crate::ring::FifoRing;
 use crate::sync::LockRecover;
 use reqisc_compiler::{
     CacheStore, CompactOutcome, CompileCache, Compiler, LoadOutcome, Pipeline,
@@ -47,10 +88,12 @@ use std::time::Duration;
 /// Service construction options.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Worker-pool size; `0` = the available hardware parallelism (the
-    /// same resolution rule as [`Compiler::block_threads`]).
+    /// Solve-stage worker-pool size; `0` = the available hardware
+    /// parallelism (the same resolution rule as
+    /// [`Compiler::block_threads`]).
     pub workers: usize,
-    /// Bounded queue capacity; submissions beyond it reject immediately.
+    /// Bounded admission capacity (jobs in the system, across both
+    /// rings); submissions beyond it reject immediately.
     pub queue_capacity: usize,
     /// Persistent store directory (`None` = in-memory only). The store
     /// is loaded before the first worker starts and flushed on shutdown.
@@ -69,6 +112,17 @@ pub struct ServiceConfig {
     pub debug_ops: bool,
     /// Bounds on QASM accepted at the service boundary.
     pub parse_limits: ParseLimits,
+    /// Lookup-stage worker count (`0` = 1). One is almost always right —
+    /// the stage only probes the program pool — but the knob exists for
+    /// probe-heavy deployments (`REQISC_SERVE_LOOKUP_WORKERS` at the
+    /// daemon/bench level).
+    pub lookup_workers: usize,
+    /// Artificial delay (milliseconds) a solve worker sleeps before each
+    /// *cold compile* it claims — the deterministic stall the
+    /// stall-isolation tests inject; debug ops are unaffected. `None`
+    /// falls back to the `REQISC_DEBUG_SOLVE_DELAY_MS` env knob (unset
+    /// or `0` = no delay).
+    pub solve_delay_ms: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +136,8 @@ impl Default for ServiceConfig {
             pool_shape: None,
             debug_ops: false,
             parse_limits: ParseLimits::default(),
+            lookup_workers: 1,
+            solve_delay_ms: None,
         }
     }
 }
@@ -89,7 +145,7 @@ impl Default for ServiceConfig {
 /// Why a submission was not admitted.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The bounded queue is at capacity (or the service is draining).
+    /// The system is at admission capacity (or the service is draining).
     QueueFull(QueueFull),
     /// The request itself is unusable (unknown bench name, QASM parse
     /// failure, over-limit input, gated debug op).
@@ -109,7 +165,9 @@ impl std::error::Error for SubmitError {}
 
 /// A finished job's payload: the compiled circuit (compile jobs; `None`
 /// for debug ops) plus a global completion sequence number (monotone —
-/// the queue-semantics tests assert ordering through it).
+/// the queue-semantics tests assert ordering through it). Assigned by
+/// the dispatcher at delivery time, so `done_seq` order *is* delivery
+/// order.
 #[derive(Debug, Clone)]
 pub struct JobDone {
     /// The compiled circuit (`None` for debug ops).
@@ -122,13 +180,13 @@ pub struct JobDone {
 pub type JobResult = Result<JobDone, String>;
 
 /// A claim on one submitted job's result. Dropping a ticket without
-/// waiting detaches its waiter; when the *last* waiter of a still-queued
+/// waiting detaches its waiter; when the *last* waiter of a still-ringed
 /// job detaches, the job is cancelled (see the module docs).
 #[derive(Debug)]
 pub struct Ticket {
     rx: mpsc::Receiver<JobResult>,
     /// True when this submission attached to an already-in-flight
-    /// identical job instead of occupying a queue slot.
+    /// identical job instead of occupying an admission slot.
     pub coalesced: bool,
     /// Detaches this waiter on drop (compile jobs only).
     _guard: Option<WaiterGuard>,
@@ -139,12 +197,24 @@ impl Ticket {
     pub fn wait(self) -> JobResult {
         self.rx.recv().unwrap_or_else(|_| Err("service terminated before the job ran".into()))
     }
+
+    /// Blocks until the job finishes, then reports how many *further*
+    /// responses were (erroneously) delivered to this same ticket — the
+    /// double-respond detector the pipeline property tests assert stays
+    /// zero. Only meaningful once no more completions can arrive (after
+    /// [`Service::shutdown`]).
+    pub fn wait_counting_duplicates(self) -> (JobResult, usize) {
+        let first =
+            self.rx.recv().unwrap_or_else(|_| Err("service terminated before the job ran".into()));
+        let extras = self.rx.try_iter().count();
+        (first, extras)
+    }
 }
 
 /// Removes one waiter from its job's coalesced waiter set on drop; the
-/// last waiter out cancels the job if it is still queued. Waiter ids are
-/// globally unique, so a guard outliving its job (or racing a same-key
-/// resubmission) can never detach someone else's waiter.
+/// last waiter out cancels the job if it still sits in a ring. Waiter
+/// ids are globally unique, so a guard outliving its job (or racing a
+/// same-key resubmission) can never detach someone else's waiter.
 struct WaiterGuard {
     inner: Arc<Inner>,
     key: JobKey,
@@ -161,29 +231,29 @@ impl Drop for WaiterGuard {
     fn drop(&mut self) {
         let mut inflight = self.inner.inflight.lock_recover();
         let Some(waiters) = inflight.get_mut(&self.key) else {
-            return; // job already completed (or cancelled by a peer)
+            return; // job already delivered (or cancelled by a peer)
         };
         waiters.retain(|(id, _)| *id != self.id);
         if !waiters.is_empty() {
             return; // other waiters still want the result
         }
         inflight.remove(&self.key);
-        // Last waiter gone: pull the job out of the queue if a worker has
-        // not claimed it yet. (A running job is past cancellation and
-        // completes normally with nobody listening — that window is
+        // Last waiter gone: pull the job out of whichever ring still
+        // holds it. (A job claimed by a solve worker — or already
+        // warm-served onto the completion ring — is past cancellation
+        // and completes normally with nobody listening; that window is
         // unavoidable and harmless.) The inflight lock is deliberately
-        // held across the removal — the same inflight→queue order
-        // `submit_compile` uses — so a racing same-key resubmission
-        // cannot slip a fresh job into the queue between the entry
-        // removal and the keyed `remove_first` (which would cancel the
-        // *new* job and strand its waiters forever).
+        // held across both removals — the same inflight→ring order the
+        // lookup stage's transfer and `submit_compile` use — so neither
+        // a racing same-key resubmission nor the lookup stage moving the
+        // job between rings can slip into the gap: under this lock the
+        // job is in exactly one place.
         let key = self.key;
-        if self
-            .inner
-            .queue
-            .remove_first(|job| matches!(job, Job::Compile { key: k, .. } if *k == key))
+        let is_ours = move |job: &Job| matches!(job, Job::Compile { key: k, .. } if *k == key);
+        if self.inner.submission.remove_first(is_ours) || self.inner.solve.remove_first(is_ours)
         {
             self.inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            self.inner.release();
         }
         drop(inflight);
     }
@@ -204,6 +274,20 @@ enum Job {
     Panic { tx: mpsc::Sender<JobResult> },
 }
 
+/// Who a posted completion is for.
+enum CompletionTarget {
+    /// Every waiter registered under this in-flight key.
+    Key(JobKey),
+    /// The one direct waiter of a debug op.
+    Direct(mpsc::Sender<JobResult>),
+}
+
+/// One finished (or warm-served) job on its way to the dispatcher.
+struct Completion {
+    target: CompletionTarget,
+    outcome: Result<Option<Arc<Circuit>>, String>,
+}
+
 #[derive(Default)]
 struct Counters {
     submitted: AtomicU64,
@@ -215,20 +299,49 @@ struct Counters {
     snapshots: AtomicU64,
 }
 
+/// Per-stage transit counters (the scalar half of the `stages` member of
+/// the `stats` JSON; the rings report their own enqueue/dequeue/wait).
+#[derive(Default)]
+struct StageAtomics {
+    /// Compile jobs the lookup stage short-circuited on a warm pool hit.
+    lookup_hits: AtomicU64,
+    /// Compile jobs the lookup stage forwarded to the solve ring.
+    lookup_misses: AtomicU64,
+    /// Jobs (of any kind) claimed by a solve worker.
+    solve_claimed: AtomicU64,
+    /// Completions the dispatcher delivered (== completed + failed).
+    delivered: AtomicU64,
+}
+
 struct Inner {
     compiler: Compiler,
+    /// [`Compiler::options_fingerprint`] computed once at startup — it
+    /// hashes a `Debug` rendering, too hot to redo per submission.
+    options_fp: u128,
     store: Option<CacheStore>,
     /// Serializes save/compact against each other (timer vs. requests vs.
     /// shutdown); the store itself is only torn-write-safe, not
     /// merge-atomic, within one process.
     store_lock: Mutex<()>,
-    queue: JobQueue<Job>,
+    /// Stage 1 input: everything submitted lands here first.
+    submission: JobQueue<Job>,
+    /// Stage 2 input: true misses (and debug ops) forwarded by lookup.
+    solve: JobQueue<Job>,
+    /// Stage 3 input: warm hits and solved jobs, drained FIFO by the
+    /// dispatcher.
+    completions: FifoRing<Completion>,
+    /// Jobs admitted but not yet claimed/warm-served/cancelled — the
+    /// single gauge admission control and `queue_depth` run on.
+    in_system: AtomicU64,
+    capacity: usize,
     inflight: Mutex<HashMap<JobKey, Vec<(u64, mpsc::Sender<JobResult>)>>>,
     counters: Counters,
+    stage: StageAtomics,
     done_seq: AtomicU64,
     waiter_seq: AtomicU64,
     gc_max_idle_gens: Option<u64>,
     debug_ops: bool,
+    solve_delay: Option<Duration>,
     parse_limits: ParseLimits,
     benches: OnceLock<HashMap<String, Arc<Circuit>>>,
     /// Set by a protocol `shutdown` request; transport accept loops poll it.
@@ -237,48 +350,163 @@ struct Inner {
 }
 
 impl Inner {
-    fn worker_loop(&self) {
-        while let Some(job) = self.queue.pop() {
+    /// Claims one admission slot; `false` when the system is at capacity.
+    fn admit(&self) -> bool {
+        self.in_system
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < self.capacity as u64).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    /// Returns one admission slot (claim, warm short-circuit, or cancel).
+    fn release(&self) {
+        self.in_system.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The lookup stage: claims jobs off the submission ring and routes
+    /// them — warm compile hits short-circuit to the completion ring,
+    /// everything else crosses into the solve ring. Exits when the
+    /// submission ring is closed and drained.
+    fn lookup_loop(&self) {
+        loop {
+            // The inflight lock spans the whole claim-and-route transfer
+            // so ticket cancellation (which removes ring entries under
+            // the same lock) always finds a job in exactly one place —
+            // never "popped here but not yet pushed there".
+            let inflight = self.inflight.lock_recover();
+            match self.submission.try_pop() {
+                TryPop::Job(job, priority) => {
+                    self.route(job, priority);
+                    drop(inflight);
+                }
+                TryPop::Closed => return,
+                TryPop::Empty => {
+                    drop(inflight);
+                    self.submission.wait_nonempty();
+                }
+            }
+        }
+    }
+
+    /// Routes one claimed job (inflight lock held by the caller): a warm
+    /// program-pool probe hit completes immediately; a miss — counted by
+    /// the eventual solve-stage `compile`, not the probe — forwards at
+    /// the job's original (possibly boosted) priority.
+    fn route(&self, job: Job, priority: Priority) {
+        match job {
+            Job::Compile { key, circuit, pipeline } => {
+                if let Some(hit) =
+                    self.compiler.lookup_program(key.circuit, key.pipeline, key.options)
+                {
+                    self.stage.lookup_hits.fetch_add(1, Ordering::Relaxed);
+                    self.release();
+                    self.completions.push_completion(Completion {
+                        target: CompletionTarget::Key(key),
+                        outcome: Ok(Some(hit)),
+                    });
+                } else {
+                    self.stage.lookup_misses.fetch_add(1, Ordering::Relaxed);
+                    if self
+                        .solve
+                        .try_push(Job::Compile { key, circuit, pipeline }, priority)
+                        .is_err()
+                    {
+                        // Unreachable by accounting: the solve ring's
+                        // capacity equals the admission bound and it is
+                        // closed only after this stage joins. Degrade to
+                        // an error response rather than stranding waiters.
+                        self.release();
+                        self.completions.push_completion(Completion {
+                            target: CompletionTarget::Key(key),
+                            outcome: Err("solve stage unavailable".into()),
+                        });
+                    }
+                }
+            }
+            debug_job => {
+                // Debug ops always traverse the full pipeline (they model
+                // cold work). On the unreachable push failure the job —
+                // and with it the direct sender — is dropped, which the
+                // waiter observes as service termination.
+                let _ = self.solve.try_push(debug_job, priority);
+            }
+        }
+    }
+
+    /// A solve worker: claims forwarded jobs, runs the expensive compile
+    /// under `catch_unwind`, posts the outcome to the completion ring.
+    fn solve_loop(&self) {
+        while let Some(job) = self.solve.pop() {
+            self.stage.solve_claimed.fetch_add(1, Ordering::Relaxed);
+            self.release();
             match job {
                 Job::Compile { key, circuit, pipeline } => {
+                    if let Some(delay) = self.solve_delay {
+                        // The deterministic cold-solve stall the
+                        // stall-isolation tests inject (debug ops and the
+                        // lookup stage are unaffected by design).
+                        std::thread::sleep(delay);
+                    }
                     let out = catch_unwind(AssertUnwindSafe(|| {
                         self.compiler.compile(&circuit, pipeline)
                     }));
-                    let done_seq = self.done_seq.fetch_add(1, Ordering::Relaxed) + 1;
-                    let result: JobResult = match out {
-                        Ok(c) => {
-                            self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                            Ok(JobDone { circuit: Some(Arc::new(c)), done_seq })
-                        }
-                        Err(p) => {
-                            self.counters.failed.fetch_add(1, Ordering::Relaxed);
-                            Err(format!("compile panicked: {}", panic_message(&p)))
-                        }
+                    let outcome = match out {
+                        Ok(c) => Ok(Some(Arc::new(c))),
+                        Err(p) => Err(format!("compile panicked: {}", panic_message(&p))),
                     };
-                    let waiters = self
-                        .inflight
-                        .lock_recover()
-                        .remove(&key)
-                        .unwrap_or_default();
-                    for (_, tx) in waiters {
-                        // A waiter that dropped its ticket is not an error.
-                        let _ = tx.send(result.clone());
-                    }
+                    self.completions
+                        .push_completion(Completion { target: CompletionTarget::Key(key), outcome });
                 }
                 Job::Sleep { ms, tx } => {
                     std::thread::sleep(Duration::from_millis(ms));
-                    let done_seq = self.done_seq.fetch_add(1, Ordering::Relaxed) + 1;
-                    self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                    let _ = tx.send(Ok(JobDone { circuit: None, done_seq }));
+                    self.completions.push_completion(Completion {
+                        target: CompletionTarget::Direct(tx),
+                        outcome: Ok(None),
+                    });
                 }
                 Job::Panic { tx } => {
                     // A *real* panic through the same isolation path real
                     // pipeline panics take — the poisoned-job drill.
                     let out = catch_unwind(|| panic!("debug panic op"));
                     debug_assert!(out.is_err());
-                    self.done_seq.fetch_add(1, Ordering::Relaxed);
+                    self.completions.push_completion(Completion {
+                        target: CompletionTarget::Direct(tx),
+                        outcome: Err("compile panicked: debug panic op".into()),
+                    });
+                }
+            }
+        }
+    }
+
+    /// The dispatcher: drains the completion ring in FIFO order, assigns
+    /// the global `done_seq`, counts `completed`/`failed`, and wakes the
+    /// waiters. Single-threaded by construction, so delivery order and
+    /// `done_seq` order coincide exactly.
+    fn dispatch_loop(&self) {
+        while let Some(done) = self.completions.pop_completion() {
+            let done_seq = self.done_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            let result: JobResult = match done.outcome {
+                Ok(circuit) => {
+                    self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    Ok(JobDone { circuit, done_seq })
+                }
+                Err(msg) => {
                     self.counters.failed.fetch_add(1, Ordering::Relaxed);
-                    let _ = tx.send(Err("compile panicked: debug panic op".into()));
+                    Err(msg)
+                }
+            };
+            self.stage.delivered.fetch_add(1, Ordering::Relaxed);
+            match done.target {
+                CompletionTarget::Key(key) => {
+                    let waiters = self.inflight.lock_recover().remove(&key).unwrap_or_default();
+                    for (_, tx) in waiters {
+                        // A waiter that dropped its ticket is not an error.
+                        let _ = tx.send(result.clone());
+                    }
+                }
+                CompletionTarget::Direct(tx) => {
+                    let _ = tx.send(result);
                 }
             }
         }
@@ -329,10 +557,13 @@ fn panic_message(p: &Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// The running service (see module docs). Dropping it shuts down
-/// gracefully: drain the queue, join the workers, flush the store.
+/// gracefully: drain every stage in order, join the threads, flush the
+/// store.
 pub struct Service {
     inner: Arc<Inner>,
+    lookup_workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
     timer: Mutex<Option<std::thread::JoinHandle<()>>>,
     stopped: AtomicBool,
     startup_load: Option<LoadOutcome>,
@@ -357,38 +588,64 @@ impl Service {
     /// tests (cheap search budgets, shared template libraries) and for
     /// embedders that pre-tune [`Compiler::hs`].
     pub fn start_with_compiler(mut compiler: Compiler, config: ServiceConfig) -> Self {
-        // Workers are the parallelism; per-job block batching inside a
-        // worker would oversubscribe the pool.
+        // Solve workers are the parallelism; per-job block batching
+        // inside a worker would oversubscribe the pool.
         compiler.block_threads = 1;
         let workers = if config.workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
             config.workers
         };
+        let lookup_workers = config.lookup_workers.max(1);
+        let solve_delay = config
+            .solve_delay_ms
+            .or_else(|| match reqisc_env::DEBUG_SOLVE_DELAY_MS.usize_or(0) {
+                0 => None,
+                ms => Some(ms as u64),
+            })
+            .map(Duration::from_millis);
         let store = config.cache_dir.as_ref().map(CacheStore::new);
         let startup_load = store.as_ref().map(|s| s.load_into(compiler.cache()));
+        let options_fp = compiler.options_fingerprint();
         let inner = Arc::new(Inner {
             compiler,
+            options_fp,
             store,
             store_lock: Mutex::new(()),
-            queue: JobQueue::new(config.queue_capacity),
+            submission: JobQueue::new(config.queue_capacity),
+            solve: JobQueue::new(config.queue_capacity),
+            completions: FifoRing::new(),
+            in_system: AtomicU64::new(0),
+            capacity: config.queue_capacity,
             inflight: Mutex::new(HashMap::new()),
             counters: Counters::default(),
+            stage: StageAtomics::default(),
             done_seq: AtomicU64::new(0),
             waiter_seq: AtomicU64::new(0),
             gc_max_idle_gens: config.gc_max_idle_gens,
             debug_ops: config.debug_ops,
+            solve_delay,
             parse_limits: config.parse_limits,
             benches: OnceLock::new(),
             shutdown_requested: AtomicBool::new(false),
             timer_stop: (Mutex::new(false), Condvar::new()),
         });
-        let handles = (0..workers)
+        let solve_handles = (0..workers)
             .map(|_| {
                 let inner = inner.clone();
-                std::thread::spawn(move || inner.worker_loop())
+                std::thread::spawn(move || inner.solve_loop())
             })
             .collect();
+        let lookup_handles = (0..lookup_workers)
+            .map(|_| {
+                let inner = inner.clone();
+                std::thread::spawn(move || inner.lookup_loop())
+            })
+            .collect();
+        let dispatcher = {
+            let inner = inner.clone();
+            std::thread::spawn(move || inner.dispatch_loop())
+        };
         let timer = config.snapshot_interval.map(|interval| {
             let inner = inner.clone();
             std::thread::spawn(move || {
@@ -412,7 +669,9 @@ impl Service {
         });
         Self {
             inner,
-            workers: Mutex::new(handles),
+            lookup_workers: Mutex::new(lookup_handles),
+            workers: Mutex::new(solve_handles),
+            dispatcher: Mutex::new(Some(dispatcher)),
             timer: Mutex::new(timer),
             stopped: AtomicBool::new(false),
             startup_load,
@@ -467,35 +726,44 @@ impl Service {
         let key = JobKey {
             circuit: circuit.content_hash(),
             pipeline,
-            options: self.inner.compiler.options_fingerprint(),
+            options: self.inner.options_fp,
         };
         let (tx, rx) = mpsc::channel();
         let waiter_id = self.inner.waiter_seq.fetch_add(1, Ordering::Relaxed);
         let guard = Some(WaiterGuard { inner: self.inner.clone(), key, id: waiter_id });
-        // The inflight lock spans the queue push so a worker finishing the
-        // job (which takes the same lock to collect waiters) can never
-        // interleave between "queued" and "registered".
+        // The inflight lock spans the ring push so neither the lookup
+        // stage's transfer nor the dispatcher's waiter collection can
+        // interleave between "ringed" and "registered".
         let mut inflight = self.inner.inflight.lock_recover();
         if let Some(waiters) = inflight.get_mut(&key) {
             waiters.push((waiter_id, tx));
             // A more urgent duplicate must not wait at the original
-            // submission's priority: raise the queued job to match (a
-            // no-op if the job already runs or was queued hotter).
-            self.inner.queue.boost(
-                |job| matches!(job, Job::Compile { key: k, .. } if *k == key),
-                priority,
-            );
+            // submission's priority: raise the ringed job to match,
+            // wherever it currently sits (a no-op if the job already
+            // runs or was ringed hotter).
+            let is_ours =
+                move |job: &Job| matches!(job, Job::Compile { key: k, .. } if *k == key);
+            if !self.inner.submission.boost(is_ours, priority) {
+                self.inner.solve.boost(is_ours, priority);
+            }
             self.inner.counters.coalesced.fetch_add(1, Ordering::Relaxed);
             self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
             return Ok(Ticket { rx, coalesced: true, _guard: guard });
         }
-        match self.inner.queue.try_push(Job::Compile { key, circuit, pipeline }, priority) {
+        if !self.inner.admit() {
+            self.inner.counters.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull(QueueFull { capacity: self.inner.capacity }));
+        }
+        match self.inner.submission.try_push(Job::Compile { key, circuit, pipeline }, priority) {
             Ok(()) => {
                 inflight.insert(key, vec![(waiter_id, tx)]);
                 self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
                 Ok(Ticket { rx, coalesced: false, _guard: guard })
             }
             Err(full) => {
+                // Only reachable when the ring is closed (draining):
+                // undo the admission and reject like a full queue.
+                self.inner.release();
                 self.inner.counters.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
                 Err(SubmitError::QueueFull(full))
             }
@@ -517,12 +785,17 @@ impl Service {
             DebugOp::Sleep { ms } => Job::Sleep { ms, tx },
             DebugOp::Panic => Job::Panic { tx },
         };
-        match self.inner.queue.try_push(job, priority) {
+        if !self.inner.admit() {
+            self.inner.counters.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull(QueueFull { capacity: self.inner.capacity }));
+        }
+        match self.inner.submission.try_push(job, priority) {
             Ok(()) => {
                 self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
                 Ok(Ticket { rx, coalesced: false, _guard: None })
             }
             Err(full) => {
+                self.inner.release();
                 self.inner.counters.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
                 Err(SubmitError::QueueFull(full))
             }
@@ -538,6 +811,7 @@ impl Service {
     /// Snapshot of every counter the `stats` op reports.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
         let c = &self.inner.counters;
+        let st = &self.inner.stage;
         StatsSnapshot {
             service: ServiceCounters {
                 submitted: c.submitted.load(Ordering::Relaxed),
@@ -547,16 +821,33 @@ impl Service {
                 rejected_queue_full: c.rejected_queue_full.load(Ordering::Relaxed),
                 cancelled: c.cancelled.load(Ordering::Relaxed),
                 snapshots: c.snapshots.load(Ordering::Relaxed),
-                queue_depth: self.inner.queue.len() as u64,
+                queue_depth: self.inner.in_system.load(Ordering::Relaxed),
+            },
+            stages: StageCounters {
+                submission: ring_counters(
+                    self.inner.submission.ring_stats(),
+                    self.inner.submission.len(),
+                ),
+                solve: ring_counters(self.inner.solve.ring_stats(), self.inner.solve.len()),
+                completion: ring_counters(
+                    self.inner.completions.ring_stats(),
+                    self.inner.completions.len(),
+                ),
+                lookup_hits: st.lookup_hits.load(Ordering::Relaxed),
+                lookup_misses: st.lookup_misses.load(Ordering::Relaxed),
+                solve_claimed: st.solve_claimed.load(Ordering::Relaxed),
+                delivered: st.delivered.load(Ordering::Relaxed),
             },
             cache: self.inner.compiler.cache_stats(),
             store: self.inner.store.as_ref().map(|s| s.stats()),
         }
     }
 
-    /// Jobs queued right now (admitted, not yet claimed by a worker).
+    /// Jobs in the system right now: admitted, not yet claimed by a
+    /// solve worker, warm-served, or cancelled (the same meaning the
+    /// pre-pipeline single queue's depth had).
     pub fn queue_depth(&self) -> usize {
-        self.inner.queue.len()
+        self.inner.in_system.load(Ordering::Relaxed) as usize
     }
 
     /// Forces a store snapshot now (plain save, no GC).
@@ -597,15 +888,29 @@ impl Service {
         self.inner.shutdown_requested.store(true, Ordering::Release);
     }
 
-    /// Graceful shutdown: stop admitting, drain the queue, join every
-    /// worker and the snapshot timer, then flush the store. Idempotent.
+    /// Graceful shutdown, stage by stage: stop admitting, drain the
+    /// submission ring through the lookup stage, drain the solve ring
+    /// through the workers, drain the completion ring through the
+    /// dispatcher, join the snapshot timer, then flush the store. Each
+    /// stage's input is closed only after the upstream stage has been
+    /// joined, so a job in flight *anywhere* is either delivered or (if
+    /// every waiter already left) cleanly cancelled — never stranded.
+    /// Idempotent.
     pub fn shutdown(&self) {
         if self.stopped.swap(true, Ordering::AcqRel) {
             return;
         }
         self.request_shutdown();
-        self.inner.queue.close();
+        self.inner.submission.close();
+        for h in self.lookup_workers.lock_recover().drain(..) {
+            let _ = h.join();
+        }
+        self.inner.solve.close();
         for h in self.workers.lock_recover().drain(..) {
+            let _ = h.join();
+        }
+        self.inner.completions.close();
+        if let Some(h) = self.dispatcher.lock_recover().take() {
             let _ = h.join();
         }
         let (lock, cv) = &self.inner.timer_stop;
@@ -617,6 +922,15 @@ impl Service {
         if let Err(e) = self.inner.snapshot(None) {
             eprintln!("# reqisc-service: shutdown store flush failed: {e}");
         }
+    }
+}
+
+fn ring_counters(rs: RingStats, depth: usize) -> RingCounters {
+    RingCounters {
+        enqueued: rs.enqueued,
+        dequeued: rs.dequeued,
+        depth: depth as u64,
+        wait_us: rs.wait_us,
     }
 }
 
