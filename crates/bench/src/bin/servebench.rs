@@ -11,7 +11,9 @@
 //!   interactive-caller view of a resident warm cache (p50/p99 are the
 //!   protocol + lookup overhead, microseconds not seconds);
 //! * **warm pipelined** — all requests submitted before any is awaited:
-//!   the throughput ceiling (req/s);
+//!   the throughput ceiling (req/s). Per-request latency here is
+//!   submit → completion-observed, so it *includes* time queued behind
+//!   the batch — expect p50/p99 well above the serial tier's;
 //! * **mixed** — a batch of never-seen cold variants is submitted first
 //!   and NOT awaited, then every warm request rides through the
 //!   congested service serially. The staged-pipeline proof is the stage
@@ -30,6 +32,8 @@
 //!   service loads it at startup, so a second run starts disk-warm);
 //! * `REQISC_BENCH_JSON=<path>` — write the machine-readable results
 //!   (tier rows + mixed-tier counter deltas + the final stats snapshot);
+//! * `REQISC_BENCH_GIT_REV=<rev>` — revision stamp for the JSON artifact
+//!   (the driver passes `git rev-parse`; unset = `unknown`);
 //! * `REQISC_REQUIRE_ZERO_WARM_SOLVES=1` — CI assertion: fail unless the
 //!   mixed tier's counter deltas prove zero warm jobs entered the solve
 //!   stage.
@@ -46,26 +50,29 @@ use reqisc_service::{Json, Service, ServiceConfig, Ticket};
 use std::sync::Arc;
 use std::time::Instant;
 
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
+/// Latencies are recorded as integer nanoseconds (no float rounding in
+/// the hot loop, sub-millisecond warm hits stay distinguishable) and
+/// only converted to fractional milliseconds at report time.
+fn percentile_ms(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
         return 0.0;
     }
-    let idx = ((sorted_ms.len() as f64 - 1.0) * p / 100.0).round() as usize;
-    sorted_ms[idx]
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p / 100.0).round() as usize;
+    sorted_ns[idx] as f64 / 1e6
 }
 
-fn row(pass: &str, latencies_ms: &mut [f64], total_s: f64) -> Json {
-    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let req_per_s = latencies_ms.len() as f64 / total_s.max(1e-9);
-    let p50 = percentile(latencies_ms, 50.0);
-    let p99 = percentile(latencies_ms, 99.0);
+fn row(pass: &str, latencies_ns: &mut [u64], total_s: f64) -> Json {
+    latencies_ns.sort_unstable();
+    let req_per_s = latencies_ns.len() as f64 / total_s.max(1e-9);
+    let p50 = percentile_ms(latencies_ns, 50.0);
+    let p99 = percentile_ms(latencies_ns, 99.0);
     println!(
         "{pass},{},{total_s:.3},{req_per_s:.1},{p50:.3},{p99:.3}",
-        latencies_ms.len(),
+        latencies_ns.len(),
     );
     Json::obj(vec![
         ("pass", Json::str(pass)),
-        ("requests", Json::num_u64(latencies_ms.len() as u64)),
+        ("requests", Json::num_u64(latencies_ns.len() as u64)),
         ("total_s", Json::Num(total_s)),
         ("req_per_s", Json::Num(req_per_s)),
         ("p50_ms", Json::Num(p50)),
@@ -121,7 +128,7 @@ fn main() {
             .expect("submit")
             .wait()
             .expect("compile");
-        lat.push(t.elapsed().as_secs_f64() * 1e3);
+        lat.push(t.elapsed().as_nanos() as u64);
         fingerprints.push(done.circuit.expect("circuit").content_hash());
     }
     tiers.push(row("cold", &mut lat, t0.elapsed().as_secs_f64()));
@@ -136,7 +143,7 @@ fn main() {
             .expect("submit")
             .wait()
             .expect("compile");
-        lat.push(t.elapsed().as_secs_f64() * 1e3);
+        lat.push(t.elapsed().as_nanos() as u64);
         assert_eq!(
             done.circuit.expect("circuit").content_hash(),
             fingerprints[i],
@@ -146,20 +153,27 @@ fn main() {
     tiers.push(row("warm_serial", &mut lat, t0.elapsed().as_secs_f64()));
 
     // Pass 3: warm, fully pipelined (throughput ceiling; duplicates of
-    // in-flight work coalesce).
+    // in-flight work coalesce). Per-request latency is submit →
+    // completion-observed: each ticket records its own submit instant,
+    // so the distribution includes queueing behind the batch — that is
+    // the latency a caller of a saturated service actually sees.
     let t0 = Instant::now();
-    let tickets: Vec<(usize, Ticket)> = jobs
+    let tickets: Vec<(usize, Instant, Ticket)> = jobs
         .iter()
         .enumerate()
         .map(|(i, (c, p))| {
-            (i, service.submit_compile(c.clone(), *p, reqisc_service::DEFAULT_PRIORITY).expect("submit"))
+            let submitted_at = Instant::now();
+            let t = service
+                .submit_compile(c.clone(), *p, reqisc_service::DEFAULT_PRIORITY)
+                .expect("submit");
+            (i, submitted_at, t)
         })
         .collect();
     let mut lat = Vec::with_capacity(jobs.len());
-    for (i, t) in tickets {
+    for (i, submitted_at, t) in tickets {
         let done = t.wait().expect("compile");
         assert_eq!(done.circuit.expect("circuit").content_hash(), fingerprints[i]);
-        lat.push(0.0); // per-request latency is not meaningful pipelined
+        lat.push(submitted_at.elapsed().as_nanos() as u64);
     }
     tiers.push(row("warm_pipelined", &mut lat, t0.elapsed().as_secs_f64()));
 
@@ -198,7 +212,7 @@ fn main() {
             .expect("submit mixed warm")
             .wait()
             .expect("compile mixed warm");
-        lat.push(t.elapsed().as_secs_f64() * 1e3);
+        lat.push(t.elapsed().as_nanos() as u64);
         assert_eq!(
             done.circuit.expect("circuit").content_hash(),
             fingerprints[i],
@@ -266,8 +280,14 @@ fn main() {
             ("warm_overtakes", Json::num_u64(warm_overtakes)),
             ("zero_warm_solves", Json::Bool(zero_warm_solves)),
         ]);
+        // Schema 1 was the unstamped original (pipelined latencies hard-
+        // coded to 0). Schema 2 records real submit→completion latencies
+        // (ns-sourced, emitted as fractional ms) and carries this stamp.
+        let git_rev = env::BENCH_GIT_REV.var().unwrap_or_else(|| "unknown".into());
         let doc = Json::obj(vec![
             ("bench", Json::str("servebench")),
+            ("schema_version", Json::num_u64(2)),
+            ("git_rev", Json::str(&git_rev)),
             ("programs", Json::num_u64(programs.len() as u64)),
             ("requests", Json::num_u64(jobs.len() as u64)),
             ("tiers", Json::Arr(tiers)),

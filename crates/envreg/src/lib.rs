@@ -125,6 +125,12 @@ pub const BENCH_JSON: EnvKnob = EnvKnob {
     doc: "Path servebench writes its BENCH_*.json results to (unset/empty = no JSON emitted)",
 };
 
+/// Git revision stamped into bench JSON artifacts.
+pub const BENCH_GIT_REV: EnvKnob = EnvKnob {
+    name: "REQISC_BENCH_GIT_REV",
+    doc: "Git revision the CI/bench driver stamps into BENCH_*.json artifacts (unset = `unknown`)",
+};
+
 /// Skip `cachebench`'s slow serial reference column.
 pub const SKIP_SERIAL: EnvKnob = EnvKnob {
     name: "REQISC_SKIP_SERIAL",
@@ -185,6 +191,7 @@ pub const ALL: &[&EnvKnob] = &[
     &SERVE_LOOKUP_WORKERS,
     &DEBUG_SOLVE_DELAY_MS,
     &BENCH_JSON,
+    &BENCH_GIT_REV,
     &SKIP_SERIAL,
     &REQUIRE_DISK_WARM_X,
     &REQUIRE_PROGRAM_HIT_PCT,

@@ -1,0 +1,7 @@
+use std::sync::Mutex;
+use std::sync::{Arc, Condvar};
+use std::sync::atomic::AtomicU64;
+
+pub fn spawn_worker(m: Arc<Mutex<u32>>, cv: Condvar, n: AtomicU64) {
+    std::thread::spawn(move || drop((m, cv, n)));
+}

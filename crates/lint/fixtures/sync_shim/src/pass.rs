@@ -1,0 +1,26 @@
+// Arc / mpsc / OnceLock carry no blocking the model scheduler must
+// interpose on; scoped helper threads and sleeps are likewise allowed.
+use std::sync::mpsc;
+use std::sync::{Arc, OnceLock};
+
+pub fn scoped(tx: mpsc::Sender<u32>, cell: Arc<OnceLock<u32>>) {
+    std::thread::scope(|_s| {
+        let _ = tx.send(*cell.get_or_init(|| 1));
+    });
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+// lint:allow(sync-shim, exercising the escape hatch)
+pub fn raw_handle() -> *const std::sync::Mutex<u32> { std::ptr::null() }
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex; // test code never runs under the model
+
+    #[test]
+    fn raw_primitives_are_fine_in_tests() {
+        let m = Mutex::new(1);
+        let h = std::thread::spawn(move || *m.lock().unwrap());
+        assert_eq!(h.join().unwrap(), 1);
+    }
+}

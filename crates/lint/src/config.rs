@@ -38,6 +38,8 @@ pub struct Config {
     pub panic_entries: HashSet<String>,
     /// The env-registry module file, workspace-relative.
     pub env_registry: Option<String>,
+    /// Directory prefixes in scope for the sync-shim rule.
+    pub sync_shim_scopes: Vec<String>,
 }
 
 impl Config {
@@ -125,6 +127,10 @@ impl Config {
                     want(1)?;
                     c.env_registry = Some(args[0].to_string());
                 }
+                "sync-shim-scope" => {
+                    want(1)?;
+                    c.sync_shim_scopes.push(args[0].to_string());
+                }
                 other => {
                     return Err(format!("lint.conf:{}: unknown directive `{}`", lineno + 1, other));
                 }
@@ -181,6 +187,11 @@ impl Config {
     pub fn in_panic_scope(&self, rel: &str) -> bool {
         self.panic_scopes.iter().any(|d| rel == d || rel.starts_with(&format!("{d}/")))
     }
+
+    /// True when a workspace-relative path is in sync-shim scope.
+    pub fn in_sync_shim_scope(&self, rel: &str) -> bool {
+        self.sync_shim_scopes.iter().any(|d| rel == d || rel.starts_with(&format!("{d}/")))
+    }
 }
 
 #[cfg(test)]
@@ -204,7 +215,8 @@ mod tests {
              call-ignore get insert len\n\
              panic-scope crates/service/src\n\
              panic-entry serve_lines handle_line\n\
-             env-registry crates/envreg/src/lib.rs\n",
+             env-registry crates/envreg/src/lib.rs\n\
+             sync-shim-scope crates/service/src\n",
         )
         .unwrap();
         assert!(c.is_skipped("crates/vendor/rand/src/lib.rs"));
@@ -220,6 +232,8 @@ mod tests {
         assert!(!c.in_panic_scope("crates/compiler/src/store.rs"));
         assert!(c.panic_entries.contains("serve_lines"));
         assert_eq!(c.env_registry.as_deref(), Some("crates/envreg/src/lib.rs"));
+        assert!(c.in_sync_shim_scope("crates/service/src/queue.rs"));
+        assert!(!c.in_sync_shim_scope("crates/sched/src/shim.rs"));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! A workspace invariant analyzer for the reqisc repo: a hand-rolled
 //! static-analysis pass (no external parser crates) that tokenizes every
-//! workspace `.rs` file, extracts per-file facts, and runs six
+//! workspace `.rs` file, extracts per-file facts, and runs seven
 //! repo-specific cross-file rules:
 //!
 //! * **store-format** — the persistent-store codec surface (byte codecs,
@@ -21,6 +21,10 @@
 //!   named-constant definitions.
 //! * **env-registry** — every `REQISC_*` env-var literal must be declared
 //!   (with a doc line) in the single registry module.
+//! * **sync-shim** — the service stack's mutexes, condvars, atomics and
+//!   spawns come from the `reqisc-sched` shim (so `--features
+//!   sched-model` can model-check them), never raw `std::sync` /
+//!   `std::thread::spawn`.
 //!
 //! Diagnostics are deny-by-default and deterministic; suppress with
 //! `// lint:allow(rule, reason)` (covers that line and the next) or
@@ -37,7 +41,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// Diagnostic severity. Everything the six rules emit is [`Severity::Deny`];
+/// Diagnostic severity. Everything the seven rules emit is [`Severity::Deny`];
 /// `Warn` exists for forward-compat with `--deny-all` promotion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
@@ -363,6 +367,7 @@ pub fn run_scanned(ws: &Workspace, cfg: &Config) -> Result<LintOutcome, String> 
     rules::panics::check(ws, cfg, &mut diags);
     rules::tolerances::check(ws, cfg, &mut diags);
     rules::envvars::check(ws, cfg, &mut diags);
+    rules::sync_shim::check(ws, cfg, &mut diags);
 
     // Apply suppressions.
     let before = diags.len();

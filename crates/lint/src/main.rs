@@ -1,4 +1,4 @@
-//! `reqisc-lint` CLI: runs the six workspace invariant rules and exits
+//! `reqisc-lint` CLI: runs the seven workspace invariant rules and exits
 //! non-zero on any deny diagnostic.
 //!
 //! ```text
@@ -28,8 +28,8 @@ fn main() -> ExitCode {
                     "reqisc-lint: workspace invariant analyzer\n\n\
                      USAGE: reqisc-lint [--root DIR] [--json] [--deny-all] [--update-store-registry]\n\n\
                      Rules: store-format, lock-order, atomic-ordering, panic-path,\n\
-                     tolerance-literal, env-registry. All deny by default; --deny-all\n\
-                     additionally promotes any warn-level diagnostics.\n\n\
+                     tolerance-literal, env-registry, sync-shim. All deny by default;\n\
+                     --deny-all additionally promotes any warn-level diagnostics.\n\n\
                      Suppress a finding with `// lint:allow(rule, reason)` on (or above)\n\
                      its line, or `// lint:allow-file(rule, reason)` anywhere in the file.\n\n\
                      --update-store-registry recomputes crates/lint/store_surface.lock\n\

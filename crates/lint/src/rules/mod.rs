@@ -1,4 +1,4 @@
-//! The six repo-specific rules. Each module exposes
+//! The seven repo-specific rules. Each module exposes
 //! `check(ws, cfg, out)` appending [`crate::Diagnostic`]s; suppression
 //! and sorting happen centrally in [`crate::run_scanned`].
 
@@ -7,4 +7,5 @@ pub mod envvars;
 pub mod locks;
 pub mod panics;
 pub mod store_format;
+pub mod sync_shim;
 pub mod tolerances;

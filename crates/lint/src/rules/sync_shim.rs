@@ -1,0 +1,144 @@
+//! **sync-shim**: the service stack takes its sync primitives from the
+//! `reqisc-sched` shim, never raw `std`.
+//!
+//! The shim (re-exported as `crate::sync` in the service crate) is a
+//! zero-cost alias of `std::sync` in normal builds, but under
+//! `--features sched-model` every acquire / wait / notify / atomic op
+//! and every spawned thread routes through the cooperative model
+//! scheduler — which is what lets `tests/sched_model.rs` exhaustively
+//! explore the pipeline's interleavings. A raw `std::sync::Mutex`,
+//! `std::sync::Condvar`, `std::sync::atomic` type, or bare
+//! `std::thread::spawn` inside the configured `sync-shim-scope`
+//! directories is invisible to the model checker: the site compiles,
+//! the model tests pass, and the interleavings that touch it are
+//! silently never explored. So such sites are denied in production
+//! source (`#[cfg(test)]` regions, `tests/`, examples and benches are
+//! exempt — they never run under the model).
+//!
+//! Deliberately *not* denied: `std::sync::{Arc, mpsc, OnceLock}` (no
+//! blocking the scheduler must interpose on), `std::thread::{scope,
+//! sleep, yield_now, available_parallelism}` (scoped helper threads
+//! and timing, not model-relevant spawns). Genuine exceptions take
+//! `// lint:allow(sync-shim, reason)`.
+
+use crate::config::Config;
+use crate::facts::{FileKind, SourceFile};
+use crate::lexer::TokKind;
+use crate::{Diagnostic, Workspace};
+
+/// Rule id.
+pub const RULE: &str = "sync-shim";
+
+/// `std::sync::` members that must come from the shim instead.
+const DENIED_SYNC: &[&str] = &["Mutex", "Condvar", "atomic"];
+
+/// Runs the rule.
+pub fn check(ws: &Workspace, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if cfg.sync_shim_scopes.is_empty() {
+        return;
+    }
+    for f in &ws.files {
+        if f.kind != FileKind::Src || !cfg.in_sync_shim_scope(&f.rel) {
+            continue;
+        }
+        scan_file(f, out);
+    }
+}
+
+fn scan_file(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        if toks[i].text != "std" || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // Only path *heads*: `reqisc_sched::…` never re-exports a
+        // module literally named `std`, but be precise anyway.
+        if i > 0 && toks[i - 1].text == "::" {
+            continue;
+        }
+        if toks.get(i + 1).map(|t| t.text != "::").unwrap_or(true) {
+            continue;
+        }
+        match toks.get(i + 2).map(|t| t.text.as_str()) {
+            Some("sync") => scan_sync_path(f, i, out),
+            Some("thread") => scan_thread_path(f, i, out),
+            _ => {}
+        }
+    }
+}
+
+/// `std::sync::<member>` or `use std::sync::{…}` — flag the denied
+/// members, wherever in the path or brace group they appear.
+fn scan_sync_path(f: &SourceFile, std_pos: usize, out: &mut Vec<Diagnostic>) {
+    let toks = &f.tokens;
+    let Some(sep) = toks.get(std_pos + 3) else { return };
+    if sep.text != "::" {
+        return;
+    }
+    let Some(next) = toks.get(std_pos + 4) else { return };
+    if next.kind == TokKind::Ident {
+        if DENIED_SYNC.contains(&next.text.as_str()) && !f.is_test_line(next.line) {
+            out.push(denied_sync_diag(f, next.line, &next.text));
+        }
+    } else if next.text == "{" {
+        // `use std::sync::{Arc, Mutex, atomic::{…}}` — walk the group.
+        let mut depth = 0i32;
+        for t in toks.iter().skip(std_pos + 4) {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                name if t.kind == TokKind::Ident
+                    && DENIED_SYNC.contains(&name)
+                    && !f.is_test_line(t.line) =>
+                {
+                    out.push(denied_sync_diag(f, t.line, name));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn denied_sync_diag(f: &SourceFile, line: u32, member: &str) -> Diagnostic {
+    Diagnostic::deny(
+        RULE,
+        &f.rel,
+        line,
+        format!(
+            "raw `std::sync::{member}` in the service stack: import it from the \
+             `crate::sync` shim (backed by `reqisc-sched`) so the site is driven by \
+             the model scheduler under `--features sched-model` — a raw primitive \
+             here is a sync site the interleaving explorer silently never sees"
+        ),
+    )
+}
+
+/// `std::thread::spawn` — the one `std::thread` member with a shim
+/// replacement the model scheduler must own.
+fn scan_thread_path(f: &SourceFile, std_pos: usize, out: &mut Vec<Diagnostic>) {
+    let toks = &f.tokens;
+    let is_spawn = toks.get(std_pos + 3).map(|t| t.text == "::").unwrap_or(false)
+        && toks.get(std_pos + 4).map(|t| t.text == "spawn").unwrap_or(false);
+    if !is_spawn {
+        return;
+    }
+    let line = toks[std_pos + 4].line;
+    if f.is_test_line(line) {
+        return;
+    }
+    out.push(Diagnostic::deny(
+        RULE,
+        &f.rel,
+        line,
+        "bare `std::thread::spawn` in the service stack: use \
+         `reqisc_sched::thread::spawn` so the thread registers with the model \
+         scheduler under `--features sched-model` — an unregistered thread runs \
+         unscheduled and its interleavings are never explored"
+            .into(),
+    ));
+}

@@ -116,6 +116,36 @@ fn env_registry_fixture() {
     assert!(o.diagnostics[2].message.contains("declared twice"), "{}", o.diagnostics[2].message);
 }
 
+#[test]
+fn sync_shim_fixture() {
+    let o = run_fixture("sync_shim");
+    assert_eq!(
+        triples(&o),
+        vec![
+            ("sync-shim".into(), "src/fail.rs".into(), 1),
+            ("sync-shim".into(), "src/fail.rs".into(), 2),
+            ("sync-shim".into(), "src/fail.rs".into(), 3),
+            ("sync-shim".into(), "src/fail.rs".into(), 6),
+        ],
+        "diagnostics were:\n{}",
+        rendered(&o)
+    );
+    assert!(
+        o.diagnostics[0].message.contains("`crate::sync` shim"),
+        "{}",
+        o.diagnostics[0].message
+    );
+    assert!(
+        o.diagnostics[3].message.contains("reqisc_sched::thread::spawn"),
+        "{}",
+        o.diagnostics[3].message
+    );
+    // pass.rs: scoped threads / mpsc / Arc draw no findings, the raw
+    // mutex behind a justified lint:allow counts as suppressed, and
+    // the #[cfg(test)] module's raw primitives are exempt.
+    assert_eq!(o.suppressed, 1, "the allow'd raw mutex in pass.rs must count as suppressed");
+}
+
 fn copy_dir(from: &Path, to: &Path) {
     std::fs::create_dir_all(to).unwrap();
     for entry in std::fs::read_dir(from).unwrap() {

@@ -1,0 +1,823 @@
+//! The cooperative scheduler and DFS interleaving explorer.
+//!
+//! One *execution* runs the model closure with every shim operation
+//! funnelled through [`Execution`]: exactly one model thread is
+//! runnable at a time, and at every visible operation (lock, unlock,
+//! wait, notify, atomic op, spawn, join, exit) the scheduler picks
+//! which thread runs next. Each pick is a *decision* recorded on a
+//! choice stack; [`explore`] backtracks over that stack
+//! depth-first, re-running the closure with a replay prefix until
+//! every schedule reachable within the preemption bound has been
+//! visited or a failure is found.
+//!
+//! Failures — assertion panics inside model threads, deadlocks
+//! (which is how a lost `notify_one` manifests), replay divergence,
+//! step-limit blowout — abort the execution, unwind every model
+//! thread, and surface as a [`Failure`] carrying the full step trace
+//! and the decision schedule that reproduces it via [`replay`].
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Global id source for shim objects (mutexes, condvars). Ids are only
+/// compared within one execution, where allocation order — and hence
+/// relative order — is deterministic.
+static NEXT_OBJ_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn fresh_obj_id() -> u64 {
+    NEXT_OBJ_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Panic payload used to unwind model threads when an execution
+/// aborts (failure found, or teardown). Never escapes the harness.
+struct AbortToken;
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The execution context of the calling thread, if it is a model
+/// thread of a live exploration. Shim types consult this to decide
+/// between scheduled and passthrough behaviour.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Bounds for one [`explore`] run.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelConfig {
+    /// Maximum number of *preemptions* per execution: schedule points
+    /// where a runnable thread is switched away from even though it
+    /// could have continued. Voluntary switches (blocking on a held
+    /// mutex, waiting on a condvar, exiting) are free. 2 catches the
+    /// overwhelming majority of real races; 3 is near-exhaustive for
+    /// small models.
+    pub max_preemptions: usize,
+    /// Hard cap on the number of executions explored. If reached, the
+    /// report is marked incomplete and [`check`] fails.
+    pub max_executions: usize,
+    /// Per-execution decision cap — a livelock backstop.
+    pub max_steps: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self { max_preemptions: 2, max_executions: 200_000, max_steps: 20_000 }
+    }
+}
+
+/// One scheduler step: which thread performed which operation.
+#[derive(Clone, Debug)]
+pub struct Step {
+    /// Model thread index (0 is the closure's root thread).
+    pub thread: usize,
+    /// Operation label, e.g. `m1.lock`, `cv1.notify_one`, `spawn t2`.
+    pub op: String,
+}
+
+/// A failing execution: what went wrong, the exact step trace, and
+/// the decision schedule that [`replay`] can re-run.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Human-readable description (panic message, deadlock summary).
+    pub message: String,
+    /// Every scheduler step of the failing execution, in order.
+    pub trace: Vec<Step>,
+    /// The decision stack (exploration-order index per choice point);
+    /// feed to [`replay`] to reproduce this execution exactly.
+    pub schedule: Vec<usize>,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "model failure: {}", self.message)?;
+        writeln!(f, "schedule trace ({} steps):", self.trace.len())?;
+        for (i, s) in self.trace.iter().enumerate() {
+            writeln!(f, "  step {:>3}: t{} {}", i, s.thread, s.op)?;
+        }
+        write!(f, "replay schedule: {:?}", self.schedule)
+    }
+}
+
+/// Outcome of an [`explore`] run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of executions (distinct schedules) actually run.
+    pub executions: usize,
+    /// True iff the bounded schedule space was exhausted (no failure,
+    /// and `max_executions` was not hit).
+    pub complete: bool,
+    /// The first failing execution found, if any. DFS order is
+    /// deterministic, so the same model yields the same failure.
+    pub failure: Option<Failure>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    BlockedMutex(u64),
+    BlockedCv(u64),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadInfo {
+    status: Status,
+    /// Set when a timed condvar wait was woken by the global-stall
+    /// timeout rule rather than a notify.
+    timed_out: bool,
+}
+
+#[derive(Default)]
+struct MutexInfo {
+    held_by: Option<usize>,
+    waiters: VecDeque<usize>,
+}
+
+struct CvWaiter {
+    tid: usize,
+    mutex: u64,
+    timed: bool,
+}
+
+/// One recorded scheduler decision. `ord_len` is the number of
+/// alternatives (enabled threads) at that point, `pos` the
+/// exploration-order index taken (0 = run-to-completion default).
+struct Decision {
+    ord_len: usize,
+    pos: usize,
+    caller_enabled: bool,
+    preemptions_before: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum ObjKind {
+    Mutex,
+    Condvar,
+    Atomic,
+}
+
+impl ObjKind {
+    fn prefix(self) -> &'static str {
+        match self {
+            ObjKind::Mutex => "m",
+            ObjKind::Condvar => "cv",
+            ObjKind::Atomic => "a",
+        }
+    }
+}
+
+struct ExecState {
+    threads: Vec<ThreadInfo>,
+    active: Option<usize>,
+    live: usize,
+    prefix: Vec<usize>,
+    decisions: Vec<Decision>,
+    trace: Vec<Step>,
+    preemptions: usize,
+    failure: Option<String>,
+    abort: bool,
+    done: bool,
+    mutexes: BTreeMap<u64, MutexInfo>,
+    cvs: BTreeMap<u64, VecDeque<CvWaiter>>,
+    /// First-touch display names for shim objects (`m1`, `cv2`, `a3`),
+    /// assigned in deterministic registration order.
+    names: HashMap<(ObjKind, u64), String>,
+    name_counters: [usize; 3],
+    max_steps: usize,
+}
+
+impl ExecState {
+    fn name_of(&mut self, kind: ObjKind, id: u64) -> String {
+        if let Some(n) = self.names.get(&(kind, id)) {
+            return n.clone();
+        }
+        let idx = match kind {
+            ObjKind::Mutex => 0,
+            ObjKind::Condvar => 1,
+            ObjKind::Atomic => 2,
+        };
+        self.name_counters[idx] += 1;
+        let n = format!("{}{}", kind.prefix(), self.name_counters[idx]);
+        self.names.insert((kind, id), n.clone());
+        n
+    }
+
+    fn enabled(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn blocked_summary(&self) -> String {
+        let mut parts = Vec::new();
+        for (i, t) in self.threads.iter().enumerate() {
+            let d = match t.status {
+                Status::Runnable => continue,
+                Status::Finished => continue,
+                Status::BlockedMutex(m) => format!("t{i} blocked on mutex #{m}"),
+                Status::BlockedCv(c) => format!("t{i} waiting on condvar #{c}"),
+                Status::BlockedJoin(j) => format!("t{i} joining t{j}"),
+            };
+            parts.push(d);
+        }
+        parts.join(", ")
+    }
+}
+
+pub(crate) struct Execution {
+    st: StdMutex<ExecState>,
+    cv: StdCondvar,
+    handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Execution {
+    fn new(prefix: Vec<usize>, cfg: &ModelConfig) -> Self {
+        Execution {
+            st: StdMutex::new(ExecState {
+                threads: Vec::new(),
+                active: None,
+                live: 0,
+                prefix,
+                decisions: Vec::new(),
+                trace: Vec::new(),
+                preemptions: 0,
+                failure: None,
+                abort: false,
+                done: false,
+                mutexes: BTreeMap::new(),
+                cvs: BTreeMap::new(),
+                names: HashMap::new(),
+                name_counters: [0; 3],
+                max_steps: cfg.max_steps,
+            }),
+            cv: StdCondvar::new(),
+            handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    fn lock_state(&self) -> StdMutexGuard<'_, ExecState> {
+        // The harness never panics while holding `st`, but model
+        // threads unwinding through AbortToken may poison it anyway
+        // if a panic hook ever touches it; recover defensively.
+        self.st.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn fail_locked(&self, st: &mut ExecState, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+        st.active = None;
+        self.cv.notify_all();
+    }
+
+    /// Panic out of a model thread when the execution is aborting.
+    fn bail(&self, st: StdMutexGuard<'_, ExecState>) -> ! {
+        drop(st);
+        std::panic::panic_any(AbortToken);
+    }
+
+    /// Record a decision and pick the next active thread. The caller's
+    /// own status must already reflect the operation (Runnable if it
+    /// merely yields, Blocked*/Finished otherwise).
+    fn reschedule(&self, st: &mut ExecState, caller: usize) {
+        if st.abort || st.done {
+            return;
+        }
+        let mut enabled = st.enabled();
+        // Nothing can run: let "time pass" by firing the first timed
+        // condvar wait, repeatedly if needed; only if no timed waiter
+        // remains is this a genuine deadlock.
+        while enabled.is_empty() {
+            if st.live == 0 {
+                st.done = true;
+                st.active = None;
+                self.cv.notify_all();
+                return;
+            }
+            let timed = st.cvs.iter().find_map(|(cvid, ws)| {
+                ws.iter().position(|w| w.timed).map(|i| (*cvid, i))
+            });
+            match timed {
+                Some((cvid, i)) => {
+                    let w = st.cvs.get_mut(&cvid).map(|ws| ws.remove(i));
+                    if let Some(Some(w)) = w {
+                        let name = st.name_of(ObjKind::Condvar, cvid);
+                        st.trace.push(Step {
+                            thread: w.tid,
+                            op: format!("{name}.wait timed out (global stall)"),
+                        });
+                        self.wake_waiter(st, w, true);
+                    }
+                    enabled = st.enabled();
+                }
+                None => {
+                    let msg = format!(
+                        "deadlock: no runnable threads ({})",
+                        st.blocked_summary()
+                    );
+                    self.fail_locked(st, msg);
+                    return;
+                }
+            }
+        }
+        if st.decisions.len() >= st.max_steps {
+            let msg = format!("step limit {} exceeded (livelock?)", st.max_steps);
+            self.fail_locked(st, msg);
+            return;
+        }
+        // Exploration order: continue the caller if it can (the
+        // run-to-completion default), then the other enabled threads
+        // in index order.
+        let caller_enabled = enabled.contains(&caller);
+        let mut ord = Vec::with_capacity(enabled.len());
+        if caller_enabled {
+            ord.push(caller);
+        }
+        ord.extend(enabled.iter().copied().filter(|&t| t != caller));
+        let step = st.decisions.len();
+        let pos = if step < st.prefix.len() {
+            let p = st.prefix[step];
+            if p >= ord.len() {
+                let msg = format!(
+                    "replay divergence at decision {step}: schedule wants \
+                     alternative {p} but only {} are enabled (model closure \
+                     must be deterministic)",
+                    ord.len()
+                );
+                self.fail_locked(st, msg);
+                return;
+            }
+            p
+        } else {
+            0
+        };
+        let chosen = ord[pos];
+        let preemptions_before = st.preemptions;
+        if caller_enabled && chosen != caller {
+            st.preemptions += 1;
+        }
+        st.decisions.push(Decision {
+            ord_len: ord.len(),
+            pos,
+            caller_enabled,
+            preemptions_before,
+        });
+        st.active = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    /// Park the calling model thread until it is scheduled again (or
+    /// unwind if the execution aborted).
+    fn park<'a>(
+        &'a self,
+        mut st: StdMutexGuard<'a, ExecState>,
+        tid: usize,
+    ) -> StdMutexGuard<'a, ExecState> {
+        loop {
+            if st.abort {
+                self.bail(st);
+            }
+            if st.active == Some(tid) && st.threads[tid].status == Status::Runnable {
+                return st;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// A visible, non-blocking operation: trace it, let the scheduler
+    /// decide who runs next, park until re-chosen.
+    fn op_point(&self, tid: usize, op: String) {
+        let mut st = self.lock_state();
+        if st.abort {
+            self.bail(st);
+        }
+        st.trace.push(Step { thread: tid, op });
+        self.reschedule(&mut st, tid);
+        if st.abort {
+            self.bail(st);
+        }
+        let st = self.park(st, tid);
+        drop(st);
+    }
+
+    pub(crate) fn atomic_op(&self, tid: usize, key: u64, op: &str) {
+        let label = {
+            let mut st = self.lock_state();
+            if st.abort {
+                self.bail(st);
+            }
+            st.name_of(ObjKind::Atomic, key)
+        };
+        self.op_point(tid, format!("{label}.{op}"));
+    }
+
+    pub(crate) fn mutex_lock(&self, tid: usize, mid: u64) {
+        let label = {
+            let mut st = self.lock_state();
+            if st.abort {
+                self.bail(st);
+            }
+            st.name_of(ObjKind::Mutex, mid)
+        };
+        self.op_point(tid, format!("{label}.lock"));
+        let mut st = self.lock_state();
+        if st.abort {
+            self.bail(st);
+        }
+        let m = st.mutexes.entry(mid).or_default();
+        if m.held_by.is_none() {
+            m.held_by = Some(tid);
+            return;
+        }
+        m.waiters.push_back(tid);
+        st.threads[tid].status = Status::BlockedMutex(mid);
+        st.trace.push(Step { thread: tid, op: format!("{label}.blocked") });
+        self.reschedule(&mut st, tid);
+        if st.abort {
+            self.bail(st);
+        }
+        let st = self.park(st, tid);
+        // The grant path moved ownership to us before marking us
+        // runnable; nothing further to do.
+        debug_assert_eq!(st.mutexes.get(&mid).and_then(|m| m.held_by), Some(tid));
+        drop(st);
+    }
+
+    /// Release `mid`, granting it to the next FIFO waiter if any.
+    /// During unwind (abort teardown) the release still happens but no
+    /// schedule point is taken.
+    pub(crate) fn mutex_unlock(&self, tid: usize, mid: u64) {
+        let mut st = self.lock_state();
+        let label = st.name_of(ObjKind::Mutex, mid);
+        st.trace.push(Step { thread: tid, op: format!("{label}.unlock") });
+        Self::release_mutex_locked(&mut st, mid);
+        if st.abort || std::thread::panicking() {
+            self.cv.notify_all();
+            return;
+        }
+        self.reschedule(&mut st, tid);
+        if st.abort {
+            self.bail(st);
+        }
+        let st = self.park(st, tid);
+        drop(st);
+    }
+
+    fn release_mutex_locked(st: &mut ExecState, mid: u64) {
+        let m = st.mutexes.entry(mid).or_default();
+        m.held_by = None;
+        if let Some(next) = m.waiters.pop_front() {
+            m.held_by = Some(next);
+            st.threads[next].status = Status::Runnable;
+        }
+    }
+
+    /// Move a condvar waiter towards running again: re-acquire its
+    /// mutex if free, else queue on the mutex.
+    fn wake_waiter(&self, st: &mut ExecState, w: CvWaiter, timed_out: bool) {
+        st.threads[w.tid].timed_out = timed_out;
+        let m = st.mutexes.entry(w.mutex).or_default();
+        if m.held_by.is_none() {
+            m.held_by = Some(w.tid);
+            st.threads[w.tid].status = Status::Runnable;
+        } else {
+            m.waiters.push_back(w.tid);
+            st.threads[w.tid].status = Status::BlockedMutex(w.mutex);
+        }
+    }
+
+    /// Atomically release `mid`, register on `cvid`, and block.
+    /// Returns true if the wait was ended by the timeout rule.
+    pub(crate) fn cv_wait(&self, tid: usize, cvid: u64, mid: u64, timed: bool) -> bool {
+        let mut st = self.lock_state();
+        if st.abort {
+            self.bail(st);
+        }
+        let name = st.name_of(ObjKind::Condvar, cvid);
+        let mname = st.name_of(ObjKind::Mutex, mid);
+        let kind = if timed { "wait_timeout" } else { "wait" };
+        st.trace.push(Step { thread: tid, op: format!("{name}.{kind} (releases {mname})") });
+        Self::release_mutex_locked(&mut st, mid);
+        st.threads[tid].status = Status::BlockedCv(cvid);
+        st.threads[tid].timed_out = false;
+        st.cvs.entry(cvid).or_default().push_back(CvWaiter { tid, mutex: mid, timed });
+        self.reschedule(&mut st, tid);
+        if st.abort {
+            self.bail(st);
+        }
+        let st = self.park(st, tid);
+        let out = st.threads[tid].timed_out;
+        debug_assert_eq!(st.mutexes.get(&mid).and_then(|m| m.held_by), Some(tid));
+        drop(st);
+        out
+    }
+
+    pub(crate) fn cv_notify(&self, tid: usize, cvid: u64, all: bool) {
+        let label = {
+            let mut st = self.lock_state();
+            if st.abort {
+                self.bail(st);
+            }
+            st.name_of(ObjKind::Condvar, cvid)
+        };
+        let op = if all { "notify_all" } else { "notify_one" };
+        self.op_point(tid, format!("{label}.{op}"));
+        let mut st = self.lock_state();
+        if st.abort {
+            self.bail(st);
+        }
+        loop {
+            let w = st.cvs.get_mut(&cvid).and_then(|ws| ws.pop_front());
+            match w {
+                Some(w) => self.wake_waiter(&mut st, w, false),
+                None => break,
+            }
+            if !all {
+                break;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Register a new model thread as runnable. No schedule point is
+    /// taken here: the caller must first create the backing OS thread
+    /// and only then call [`Execution::spawn_point`], otherwise the
+    /// scheduler could hand control to a thread that does not exist
+    /// yet while the parent is parked creating it.
+    pub(crate) fn register_spawn(&self, _parent: usize) -> usize {
+        let mut st = self.lock_state();
+        if st.abort {
+            self.bail(st);
+        }
+        let tid = st.threads.len();
+        st.threads.push(ThreadInfo { status: Status::Runnable, timed_out: false });
+        st.live += 1;
+        tid
+    }
+
+    /// The spawn's schedule point: the child is registered and its OS
+    /// thread exists, so the scheduler may now run either side.
+    pub(crate) fn spawn_point(&self, parent: usize, tid: usize) {
+        self.op_point(parent, format!("spawn t{tid}"));
+    }
+
+    pub(crate) fn join_thread(&self, tid: usize, target: usize) {
+        self.op_point(tid, format!("join(t{target})"));
+        let mut st = self.lock_state();
+        if st.abort {
+            self.bail(st);
+        }
+        if st.threads[target].status == Status::Finished {
+            return;
+        }
+        st.threads[tid].status = Status::BlockedJoin(target);
+        self.reschedule(&mut st, tid);
+        if st.abort {
+            self.bail(st);
+        }
+        let st = self.park(st, tid);
+        drop(st);
+    }
+
+    pub(crate) fn fail_from_thread(&self, _tid: usize, msg: String) {
+        let mut st = self.lock_state();
+        self.fail_locked(&mut st, msg);
+    }
+
+    fn finish_thread(&self, tid: usize) {
+        let mut st = self.lock_state();
+        st.threads[tid].status = Status::Finished;
+        st.live -= 1;
+        for i in 0..st.threads.len() {
+            if st.threads[i].status == Status::BlockedJoin(tid) {
+                st.threads[i].status = Status::Runnable;
+            }
+        }
+        st.trace.push(Step { thread: tid, op: "exit".into() });
+        if st.live == 0 {
+            st.done = true;
+            st.active = None;
+        } else if !st.abort {
+            self.reschedule(&mut st, tid);
+        }
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn push_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(h);
+    }
+
+    /// Wait until this thread is scheduled for the first time. False
+    /// means the execution aborted before we ever ran.
+    fn wait_first_schedule(&self, tid: usize) -> bool {
+        let mut st = self.lock_state();
+        loop {
+            if st.abort {
+                return false;
+            }
+            if st.active == Some(tid) && st.threads[tid].status == Status::Runnable {
+                return true;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `body` as model thread `tid` of `exec`: install the context,
+/// wait to be scheduled, catch panics (assertion failures become the
+/// execution's failure; AbortToken unwinds are teardown), and sign off.
+pub(crate) fn run_thread_body(exec: Arc<Execution>, tid: usize, body: impl FnOnce()) {
+    CTX.with(|c| *c.borrow_mut() = Some((exec.clone(), tid)));
+    if exec.wait_first_schedule(tid) {
+        if let Err(p) = catch_unwind(AssertUnwindSafe(body)) {
+            if p.downcast_ref::<AbortToken>().is_none() {
+                let msg = format!("t{tid} panicked: {}", payload_msg(p.as_ref()));
+                exec.fail_from_thread(tid, msg);
+            }
+        }
+    }
+    CTX.with(|c| *c.borrow_mut() = None);
+    exec.finish_thread(tid);
+}
+
+pub(crate) fn spawn_model_thread(exec: &Arc<Execution>, tid: usize, body: impl FnOnce() + Send + 'static) {
+    let e2 = exec.clone();
+    let h = std::thread::Builder::new()
+        .name(format!("model-t{tid}"))
+        .spawn(move || run_thread_body(e2, tid, body))
+        .expect("spawn model OS thread");
+    exec.push_handle(h);
+}
+
+struct ExecOutcome {
+    decisions: Vec<Decision>,
+    trace: Vec<Step>,
+    failure: Option<String>,
+}
+
+fn run_one<F>(cfg: &ModelConfig, prefix: &[usize], f: &Arc<F>) -> ExecOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let exec = Arc::new(Execution::new(prefix.to_vec(), cfg));
+    {
+        let mut st = exec.lock_state();
+        st.threads.push(ThreadInfo { status: Status::Runnable, timed_out: false });
+        st.live = 1;
+        st.active = Some(0);
+    }
+    let f2 = f.clone();
+    spawn_model_thread(&exec, 0, move || f2());
+    {
+        let mut st = exec.lock_state();
+        while !(st.done || (st.abort && st.live == 0)) {
+            st = exec
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+    loop {
+        let hs: Vec<_> = {
+            let mut g = exec
+                .handles
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            g.drain(..).collect()
+        };
+        if hs.is_empty() {
+            break;
+        }
+        for h in hs {
+            let _ = h.join();
+        }
+    }
+    let mut st = exec.lock_state();
+    ExecOutcome {
+        decisions: std::mem::take(&mut st.decisions),
+        trace: std::mem::take(&mut st.trace),
+        failure: st.failure.take(),
+    }
+}
+
+/// Exhaustively explore the bounded interleaving space of `f`.
+///
+/// `f` is run once per schedule; it must build all shared state
+/// internally, use only shim primitives for blocking, and be
+/// deterministic. Returns after the first failure (DFS order is
+/// deterministic, so the failure is reproducible) or when the space
+/// within `cfg` is exhausted.
+pub fn explore<F>(cfg: ModelConfig, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        let out = run_one(&cfg, &prefix, &f);
+        executions += 1;
+        if let Some(message) = out.failure {
+            return Report {
+                executions,
+                complete: false,
+                failure: Some(Failure {
+                    message,
+                    trace: out.trace,
+                    schedule: out.decisions.iter().map(|d| d.pos).collect(),
+                }),
+            };
+        }
+        // Deepest decision with an untried sibling inside the
+        // preemption budget wins (depth-first backtracking).
+        let mut next: Option<Vec<usize>> = None;
+        for i in (0..out.decisions.len()).rev() {
+            let d = &out.decisions[i];
+            let alt_cost = usize::from(d.caller_enabled);
+            if d.pos + 1 < d.ord_len
+                && d.preemptions_before + alt_cost <= cfg.max_preemptions
+            {
+                let mut p: Vec<usize> =
+                    out.decisions[..i].iter().map(|x| x.pos).collect();
+                p.push(d.pos + 1);
+                next = Some(p);
+                break;
+            }
+        }
+        match next {
+            Some(p) if executions < cfg.max_executions => prefix = p,
+            Some(_) => {
+                return Report { executions, complete: false, failure: None };
+            }
+            None => return Report { executions, complete: true, failure: None },
+        }
+    }
+}
+
+/// Re-run one exact execution from a recorded failure schedule.
+pub fn replay<F>(cfg: ModelConfig, schedule: &[usize], f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let out = run_one(&cfg, schedule, &f);
+    Report {
+        executions: 1,
+        complete: false,
+        failure: out.failure.map(|message| Failure {
+            message,
+            trace: out.trace,
+            schedule: out.decisions.iter().map(|d| d.pos).collect(),
+        }),
+    }
+}
+
+/// [`explore`] and panic with the printed schedule trace on failure —
+/// the assertion form model tests use. Also fails if the bounded
+/// space could not be exhausted within `cfg.max_executions`.
+pub fn check<F>(name: &str, cfg: ModelConfig, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = explore(cfg, f);
+    if let Some(fail) = report.failure {
+        panic!(
+            "model `{name}` failed after {} execution(s)\n{fail}",
+            report.executions
+        );
+    }
+    assert!(
+        report.complete,
+        "model `{name}`: exploration truncated at {} executions; raise \
+         max_executions or tighten the model",
+        report.executions
+    );
+}

@@ -1,0 +1,502 @@
+//! Model-aware shim types, compiled only under `--features
+//! sched-model`.
+//!
+//! Each type carries a real `std::sync` primitive for the data (so the
+//! compiler's aliasing guarantees are never hand-rolled) plus a model
+//! id. On a model thread of a live exploration every operation is
+//! routed through the [`crate::model::Execution`] scheduler first;
+//! off-model (ordinary tests, the daemon itself even when the feature
+//! happens to be on) every operation falls straight through to `std`,
+//! so behaviour is identical either way.
+
+use crate::model::{current, fresh_obj_id, run_thread_body};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
+use std::sync::{
+    Condvar as StdCondvar, LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard,
+    PoisonError, TryLockError,
+};
+use std::time::Duration;
+
+/// Shim [`std::sync::Mutex`].
+pub struct Mutex<T: ?Sized> {
+    id: u64,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(t: T) -> Self {
+        Mutex { id: fresh_obj_id(), inner: StdMutex::new(t) }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex; a schedule point under the model.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match current() {
+            Some((exec, tid)) => {
+                exec.mutex_lock(tid, self.id);
+                match self.inner.try_lock() {
+                    Ok(g) => Ok(MutexGuard { owner: self, inner: Some(g), model: Some(tid) }),
+                    Err(TryLockError::Poisoned(e)) => Err(PoisonError::new(MutexGuard {
+                        owner: self,
+                        inner: Some(e.into_inner()),
+                        model: Some(tid),
+                    })),
+                    Err(TryLockError::WouldBlock) => {
+                        unreachable!("model granted the mutex but the std mutex is held")
+                    }
+                }
+            }
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard { owner: self, inner: Some(g), model: None }),
+                Err(e) => Err(PoisonError::new(MutexGuard {
+                    owner: self,
+                    inner: Some(e.into_inner()),
+                    model: None,
+                })),
+            },
+        }
+    }
+
+    /// Whether a holder panicked; delegates to the inner std mutex.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").field("inner", &self.inner).finish()
+    }
+}
+
+/// Shim [`std::sync::MutexGuard`]. `model` records the owning model
+/// thread when the guard was taken under the scheduler, so drops and
+/// condvar waits release at the model level too.
+pub struct MutexGuard<'a, T: ?Sized> {
+    owner: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+    model: Option<usize>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard active")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard active")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Disassemble the guard without running its Drop (which would do
+    /// a model-level release — condvar waits must instead release
+    /// atomically with waiter registration inside `cv_wait`). The std
+    /// guard is returned still held.
+    fn into_std(mut self) -> (&'a Mutex<T>, StdMutexGuard<'a, T>, Option<usize>) {
+        let g = self.inner.take().expect("guard active");
+        let model = self.model.take();
+        let owner = self.owner;
+        std::mem::forget(self);
+        (owner, g, model)
+    }
+
+    fn reacquired(owner: &'a Mutex<T>, model: Option<usize>) -> LockResult<Self> {
+        match owner.inner.try_lock() {
+            Ok(g) => Ok(MutexGuard { owner, inner: Some(g), model }),
+            Err(TryLockError::Poisoned(e)) => Err(PoisonError::new(MutexGuard {
+                owner,
+                inner: Some(e.into_inner()),
+                model,
+            })),
+            Err(TryLockError::WouldBlock) => {
+                unreachable!("model granted the mutex but the std mutex is held")
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Drop the std guard before the model-level release so the
+        // next holder's `try_lock` cannot race a still-held guard.
+        self.inner = None;
+        if let Some(tid) = self.model.take() {
+            if let Some((exec, _)) = current() {
+                exec.mutex_unlock(tid, self.owner.id);
+            }
+        }
+    }
+}
+
+/// Result of a timed wait; mirrors [`std::sync::WaitTimeoutResult`]
+/// (which has no public constructor, hence the local type).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Shim [`std::sync::Condvar`].
+pub struct Condvar {
+    id: u64,
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar { id: fresh_obj_id(), inner: StdCondvar::new() }
+    }
+
+    /// Blocks until notified; a schedule point under the model.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match (current(), guard.model) {
+            (Some((exec, tid)), Some(_)) => {
+                let (owner, g, model) = guard.into_std();
+                drop(g);
+                exec.cv_wait(tid, self.id, owner.id, false);
+                MutexGuard::reacquired(owner, model)
+            }
+            _ => {
+                // Off-model: hand the still-held std guard straight to
+                // the real condvar — semantics identical to std.
+                let (owner, g, _) = guard.into_std();
+                match self.inner.wait(g) {
+                    Ok(g) => Ok(MutexGuard { owner, inner: Some(g), model: None }),
+                    Err(e) => Err(PoisonError::new(MutexGuard {
+                        owner,
+                        inner: Some(e.into_inner()),
+                        model: None,
+                    })),
+                }
+            }
+        }
+    }
+
+    /// Blocks until notified or the timeout elapses. Under the model
+    /// the duration is not consulted: the wait "times out" exactly
+    /// when no other thread can run (the model's notion of time
+    /// passing), keeping exploration finite.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match (current(), guard.model) {
+            (Some((exec, tid)), Some(_)) => {
+                let (owner, g, model) = guard.into_std();
+                drop(g);
+                let timed_out = exec.cv_wait(tid, self.id, owner.id, true);
+                match MutexGuard::reacquired(owner, model) {
+                    Ok(g) => Ok((g, WaitTimeoutResult(timed_out))),
+                    Err(e) => Err(PoisonError::new((
+                        e.into_inner(),
+                        WaitTimeoutResult(timed_out),
+                    ))),
+                }
+            }
+            _ => {
+                let (owner, g, _) = guard.into_std();
+                let waited = self.inner.wait_timeout(g, dur);
+                match waited {
+                    Ok((g, r)) => Ok((
+                        MutexGuard { owner, inner: Some(g), model: None },
+                        WaitTimeoutResult(r.timed_out()),
+                    )),
+                    Err(e) => {
+                        let (g, r) = e.into_inner();
+                        Err(PoisonError::new((
+                            MutexGuard { owner, inner: Some(g), model: None },
+                            WaitTimeoutResult(r.timed_out()),
+                        )))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wakes one waiter (FIFO under the model).
+    pub fn notify_one(&self) {
+        match current() {
+            Some((exec, tid)) => exec.cv_notify(tid, self.id, false),
+            None => self.inner.notify_one(),
+        }
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        match current() {
+            Some((exec, tid)) => exec.cv_notify(tid, self.id, true),
+            None => self.inner.notify_all(),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+fn atomic_point(this: *const (), op: &str) {
+    if let Some((exec, tid)) = current() {
+        exec.atomic_op(tid, this as u64, op);
+    }
+}
+
+macro_rules! int_atomic {
+    ($(#[$doc:meta])* $Name:ident, $Std:ident, $T:ty) => {
+        $(#[$doc])*
+        #[derive(Default)]
+        pub struct $Name {
+            inner: std::sync::atomic::$Std,
+        }
+
+        impl $Name {
+            /// Creates a new atomic.
+            pub const fn new(v: $T) -> Self {
+                Self { inner: std::sync::atomic::$Std::new(v) }
+            }
+
+            /// Atomic load; a schedule point under the model.
+            pub fn load(&self, order: Ordering) -> $T {
+                atomic_point(self as *const _ as *const (), "load");
+                self.inner.load(order)
+            }
+
+            /// Atomic store; a schedule point under the model.
+            pub fn store(&self, v: $T, order: Ordering) {
+                atomic_point(self as *const _ as *const (), "store");
+                self.inner.store(v, order)
+            }
+
+            /// Atomic swap; a schedule point under the model.
+            pub fn swap(&self, v: $T, order: Ordering) -> $T {
+                atomic_point(self as *const _ as *const (), "swap");
+                self.inner.swap(v, order)
+            }
+
+            /// Atomic add; a schedule point under the model.
+            pub fn fetch_add(&self, v: $T, order: Ordering) -> $T {
+                atomic_point(self as *const _ as *const (), "fetch_add");
+                self.inner.fetch_add(v, order)
+            }
+
+            /// Atomic subtract; a schedule point under the model.
+            pub fn fetch_sub(&self, v: $T, order: Ordering) -> $T {
+                atomic_point(self as *const _ as *const (), "fetch_sub");
+                self.inner.fetch_sub(v, order)
+            }
+
+            /// Atomic max; a schedule point under the model.
+            pub fn fetch_max(&self, v: $T, order: Ordering) -> $T {
+                atomic_point(self as *const _ as *const (), "fetch_max");
+                self.inner.fetch_max(v, order)
+            }
+
+            /// Atomic read-modify-write; one schedule point under the
+            /// model (the RMW itself is indivisible, as on hardware).
+            pub fn fetch_update<F>(
+                &self,
+                set_order: Ordering,
+                fetch_order: Ordering,
+                f: F,
+            ) -> Result<$T, $T>
+            where
+                F: FnMut($T) -> Option<$T>,
+            {
+                atomic_point(self as *const _ as *const (), "fetch_update");
+                self.inner.fetch_update(set_order, fetch_order, f)
+            }
+
+            /// Atomic compare-exchange; a schedule point under the model.
+            pub fn compare_exchange(
+                &self,
+                currentv: $T,
+                new: $T,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$T, $T> {
+                atomic_point(self as *const _ as *const (), "compare_exchange");
+                self.inner.compare_exchange(currentv, new, success, failure)
+            }
+        }
+
+        impl fmt::Debug for $Name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(&self.inner, f)
+            }
+        }
+    };
+}
+
+int_atomic!(
+    /// Shim [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    AtomicU64,
+    u64
+);
+int_atomic!(
+    /// Shim [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    AtomicUsize,
+    usize
+);
+
+/// Shim [`std::sync::atomic::AtomicBool`].
+#[derive(Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic flag.
+    pub const fn new(v: bool) -> Self {
+        Self { inner: std::sync::atomic::AtomicBool::new(v) }
+    }
+
+    /// Atomic load; a schedule point under the model.
+    pub fn load(&self, order: Ordering) -> bool {
+        atomic_point(self as *const _ as *const (), "load");
+        self.inner.load(order)
+    }
+
+    /// Atomic store; a schedule point under the model.
+    pub fn store(&self, v: bool, order: Ordering) {
+        atomic_point(self as *const _ as *const (), "store");
+        self.inner.store(v, order)
+    }
+
+    /// Atomic swap; a schedule point under the model.
+    pub fn swap(&self, v: bool, order: Ordering) -> bool {
+        atomic_point(self as *const _ as *const (), "swap");
+        self.inner.swap(v, order)
+    }
+
+    /// Atomic OR; a schedule point under the model.
+    pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+        atomic_point(self as *const _ as *const (), "fetch_or");
+        self.inner.fetch_or(v, order)
+    }
+}
+
+impl fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.inner, f)
+    }
+}
+
+/// Shim `std::thread` surface.
+pub mod thread {
+    use super::*;
+    use std::sync::Arc;
+
+    enum Inner<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model {
+            exec: Arc<crate::model::Execution>,
+            tid: usize,
+            result: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+        },
+    }
+
+    /// Shim [`std::thread::JoinHandle`].
+    pub struct JoinHandle<T>(Inner<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish; a schedule point under the
+        /// model.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                Inner::Std(h) => h.join(),
+                Inner::Model { exec, tid, result } => {
+                    let me = current()
+                        .expect("model JoinHandle joined from outside the model")
+                        .1;
+                    exec.join_thread(me, tid);
+                    let r = result
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .take();
+                    match r {
+                        Some(r) => r,
+                        // The child unwound during abort teardown and
+                        // never produced a value; the exploration is
+                        // already failing, so any payload works.
+                        None => Err(Box::new("model thread aborted")),
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for JoinHandle<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("JoinHandle").finish_non_exhaustive()
+        }
+    }
+
+    /// Shim [`std::thread::spawn`]: a model thread when called from a
+    /// model thread, a real OS thread otherwise.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match current() {
+            None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+            Some((exec, parent)) => {
+                let tid = exec.register_spawn(parent);
+                let result = Arc::new(StdMutex::new(None));
+                let r2 = result.clone();
+                let e2 = exec.clone();
+                let h = std::thread::Builder::new()
+                    .name(format!("model-t{tid}"))
+                    .spawn(move || {
+                        run_thread_body(e2, tid, move || {
+                            // `run_thread_body` catches AbortToken and
+                            // reports genuine panics; storing the
+                            // result here only happens on success.
+                            let v = f();
+                            *r2.lock().unwrap_or_else(PoisonError::into_inner) =
+                                Some(Ok(v));
+                        });
+                    })
+                    .expect("spawn model OS thread");
+                exec.push_handle(h);
+                exec.spawn_point(parent, tid);
+                JoinHandle(Inner::Model { exec, tid, result })
+            }
+        }
+    }
+}

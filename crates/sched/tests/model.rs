@@ -1,0 +1,230 @@
+//! Explorer self-tests: the checker must pass correct models across
+//! all bounded interleavings AND find the classic races in broken
+//! ones, with replayable schedules. Run with `--features sched-model`;
+//! without the feature this file compiles to nothing.
+#![cfg(feature = "sched-model")]
+
+use reqisc_sched::sync::{wait_recover, Condvar, LockRecover, Mutex};
+use reqisc_sched::sync::atomic::{AtomicU64, Ordering};
+use reqisc_sched::{check, explore, replay, thread, ModelConfig};
+use std::sync::Arc;
+
+fn cfg() -> ModelConfig {
+    ModelConfig::default()
+}
+
+#[test]
+fn mutex_counter_is_conserved() {
+    check("mutex-counter", cfg(), || {
+        let n = Arc::new(Mutex::new(0u64));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                thread::spawn(move || *n.lock_recover() += 1)
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock_recover(), 2);
+    });
+}
+
+#[test]
+fn atomic_rmw_is_conserved() {
+    check("atomic-rmw", cfg(), || {
+        let n = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                thread::spawn(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    });
+}
+
+/// The textbook load/store race: two threads read-modify-write a
+/// shared counter WITHOUT an indivisible RMW. Some interleaving loses
+/// an increment, and the explorer must find it.
+#[test]
+fn explorer_finds_load_store_race() {
+    let report = explore(cfg(), || {
+        let n = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                thread::spawn(move || {
+                    let v = n.load(Ordering::Relaxed);
+                    n.store(v + 1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 2, "lost increment");
+    });
+    let failure = report.failure.expect("the lost increment must be found");
+    assert!(failure.message.contains("lost increment"), "got: {}", failure.message);
+    assert!(!failure.trace.is_empty(), "failure must carry a schedule trace");
+    assert!(!failure.schedule.is_empty(), "failure must carry a replay schedule");
+}
+
+/// Replaying a recorded failure schedule reproduces the same failure
+/// deterministically.
+#[test]
+fn failure_schedules_replay_deterministically() {
+    let model = || {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = n.clone();
+        let h = thread::spawn(move || {
+            let v = n2.load(Ordering::Relaxed);
+            n2.store(v + 1, Ordering::Relaxed);
+        });
+        let v = n.load(Ordering::Relaxed);
+        n.store(v + 1, Ordering::Relaxed);
+        h.join().unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 2, "lost increment");
+    };
+    let found = explore(cfg(), model).failure.expect("race must be found");
+    let again = replay(cfg(), &found.schedule, model)
+        .failure
+        .expect("replay of the failing schedule must fail again");
+    assert_eq!(found.message, again.message);
+    assert_eq!(found.trace.len(), again.trace.len());
+    for (a, b) in found.trace.iter().zip(again.trace.iter()) {
+        assert_eq!(a.thread, b.thread);
+        assert_eq!(a.op, b.op);
+    }
+}
+
+/// Correct condvar handshake: predicate under the mutex, notify after
+/// the flag flip. Must hold in every interleaving — no lost wakeup.
+#[test]
+fn condvar_handshake_never_loses_wakeup() {
+    check("condvar-handshake", cfg(), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let waiter = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock_recover();
+            while !*ready {
+                ready = wait_recover(cv, ready);
+            }
+        });
+        let (m, cv) = &*pair;
+        *m.lock_recover() = true;
+        cv.notify_one();
+        waiter.join().unwrap();
+    });
+}
+
+/// The seeded bug the ISSUE demands: a deliberately dropped
+/// `notify_one`. The waiter can check the flag before the setter
+/// flips it, then wait forever — a deadlock the explorer must report
+/// with a non-empty schedule trace.
+#[test]
+fn dropped_notify_is_detected_as_lost_wakeup() {
+    let report = explore(cfg(), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let waiter = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock_recover();
+            while !*ready {
+                ready = wait_recover(cv, ready);
+            }
+        });
+        let (m, _cv) = &*pair;
+        *m.lock_recover() = true;
+        // BUG (deliberate): no notify_one() here.
+        waiter.join().unwrap();
+    });
+    let failure = report.failure.expect("lost wakeup must be detected");
+    assert!(
+        failure.message.contains("deadlock"),
+        "lost wakeup should surface as a deadlock, got: {}",
+        failure.message
+    );
+    assert!(failure.message.contains("waiting on condvar"), "got: {}", failure.message);
+    assert!(!failure.trace.is_empty());
+    // The printed trace names the exact schedule; replaying it
+    // reproduces the deadlock.
+    let again = replay(cfg(), &failure.schedule, || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let waiter = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock_recover();
+            while !*ready {
+                ready = wait_recover(cv, ready);
+            }
+        });
+        let (m, _cv) = &*pair;
+        *m.lock_recover() = true;
+        waiter.join().unwrap();
+    });
+    assert!(again.failure.expect("replay fails").message.contains("deadlock"));
+}
+
+/// Timed waits end when the model globally stalls ("time passes"), so
+/// timer-style loops cannot deadlock an exploration.
+#[test]
+fn wait_timeout_fires_on_global_stall() {
+    check("wait-timeout-stall", cfg(), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let timer = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut stopped = m.lock_recover();
+            let mut fired = 0u32;
+            while !*stopped {
+                let (g, _res) = reqisc_sched::sync::wait_timeout_recover(
+                    cv,
+                    stopped,
+                    std::time::Duration::from_millis(50),
+                );
+                stopped = g;
+                fired += 1;
+                assert!(fired < 100, "timer loop must terminate");
+            }
+        });
+        let (m, cv) = &*pair;
+        *m.lock_recover() = true;
+        cv.notify_all();
+        timer.join().unwrap();
+    });
+}
+
+/// The preemption bound is a real lever: bound 0 explores only
+/// run-to-completion schedules (one per yield structure), larger
+/// bounds strictly widen the space.
+#[test]
+fn preemption_bound_scales_exploration() {
+    let model = || {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = n.clone();
+        let h = thread::spawn(move || {
+            n2.fetch_add(1, Ordering::Relaxed);
+            n2.fetch_add(1, Ordering::Relaxed);
+        });
+        n.fetch_add(1, Ordering::Relaxed);
+        h.join().unwrap();
+    };
+    let r0 = explore(ModelConfig { max_preemptions: 0, ..ModelConfig::default() }, model);
+    let r2 = explore(ModelConfig { max_preemptions: 2, ..ModelConfig::default() }, model);
+    assert!(r0.failure.is_none() && r2.failure.is_none());
+    assert!(r0.complete && r2.complete);
+    assert!(
+        r0.executions < r2.executions,
+        "bound 0 ({} execs) must explore fewer schedules than bound 2 ({})",
+        r0.executions,
+        r2.executions
+    );
+}

@@ -9,10 +9,9 @@
 //! completion order deterministic under a single worker — the property
 //! the queue-semantics tests pin.
 
-use crate::sync::LockRecover;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Condvar, LockRecover, Mutex};
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// Job priority: `0` (batch) to `9` (interactive); the default is

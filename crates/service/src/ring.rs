@@ -12,10 +12,9 @@
 //! holding the inflight lock.
 
 use crate::queue::RingStats;
-use crate::sync::LockRecover;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Condvar, LockRecover, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 struct RingState<T> {

@@ -323,8 +323,8 @@ pub fn serve_unix(service: &Service, socket_path: &std::path::Path) -> std::io::
     // accept loop force-closes them so a connection thread parked in a
     // blocking read wakes with EOF — otherwise one idle client would
     // keep the scope join (and the final store flush) waiting forever.
-    let conns: std::sync::Mutex<Vec<std::os::unix::net::UnixStream>> =
-        std::sync::Mutex::new(Vec::new());
+    let conns: crate::sync::Mutex<Vec<std::os::unix::net::UnixStream>> =
+        crate::sync::Mutex::new(Vec::new());
     let result = std::thread::scope(|scope| loop {
         if service.shutdown_requested() {
             for s in conns.lock_recover().iter() {

@@ -72,7 +72,8 @@ use crate::protocol::{
 };
 use crate::queue::{JobQueue, Priority, QueueFull, RingStats, TryPop};
 use crate::ring::FifoRing;
-use crate::sync::LockRecover;
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::{Condvar, LockRecover, Mutex};
 use reqisc_compiler::{
     CacheStore, CompactOutcome, CompileCache, Compiler, LoadOutcome, Pipeline,
 };
@@ -80,9 +81,8 @@ use reqisc_qcircuit::{parse_bounded, Circuit, ParseLimits};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Service construction options.
@@ -561,10 +561,10 @@ fn panic_message(p: &Box<dyn std::any::Any + Send>) -> String {
 /// store.
 pub struct Service {
     inner: Arc<Inner>,
-    lookup_workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
-    timer: Mutex<Option<std::thread::JoinHandle<()>>>,
+    lookup_workers: Mutex<Vec<reqisc_sched::thread::JoinHandle<()>>>,
+    workers: Mutex<Vec<reqisc_sched::thread::JoinHandle<()>>>,
+    dispatcher: Mutex<Option<reqisc_sched::thread::JoinHandle<()>>>,
+    timer: Mutex<Option<reqisc_sched::thread::JoinHandle<()>>>,
     stopped: AtomicBool,
     startup_load: Option<LoadOutcome>,
 }
@@ -633,28 +633,27 @@ impl Service {
         let solve_handles = (0..workers)
             .map(|_| {
                 let inner = inner.clone();
-                std::thread::spawn(move || inner.solve_loop())
+                reqisc_sched::thread::spawn(move || inner.solve_loop())
             })
             .collect();
         let lookup_handles = (0..lookup_workers)
             .map(|_| {
                 let inner = inner.clone();
-                std::thread::spawn(move || inner.lookup_loop())
+                reqisc_sched::thread::spawn(move || inner.lookup_loop())
             })
             .collect();
         let dispatcher = {
             let inner = inner.clone();
-            std::thread::spawn(move || inner.dispatch_loop())
+            reqisc_sched::thread::spawn(move || inner.dispatch_loop())
         };
         let timer = config.snapshot_interval.map(|interval| {
             let inner = inner.clone();
-            std::thread::spawn(move || {
+            reqisc_sched::thread::spawn(move || {
                 let (lock, cv) = &inner.timer_stop;
                 let mut stopped = lock.lock_recover();
                 loop {
-                    let (guard, timeout) = cv
-                        .wait_timeout(stopped, interval)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let (guard, timeout) =
+                        crate::sync::wait_timeout_recover(cv, stopped, interval);
                     stopped = guard;
                     if *stopped {
                         break;

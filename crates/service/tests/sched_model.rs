@@ -1,0 +1,286 @@
+//! Model-checked interleaving tests for the pipeline's sync sites.
+//!
+//! Run with `cargo test -p reqisc-service --features sched-model --test
+//! sched_model`. Every test body builds its shared state *inside* the
+//! closure handed to the explorer, uses only the shim primitives from
+//! [`reqisc_service::sync`] / [`reqisc_sched::thread`], and is
+//! deterministic — the three rules that make a recorded failure
+//! schedule replayable.
+//!
+//! The tests pin the PR 5/7 conservation laws across **all** bounded
+//! interleavings of small configs, not just the ones a lucky
+//! wall-clock run happens to hit:
+//!
+//! * a queue/ring push wakes a blocked pop (no lost `Condvar` wakeup —
+//!   `queue_push_wakes_blocked_pop` is the seeded-violation target of
+//!   the CI `sched-check` smoke, which deletes `try_push`'s
+//!   `notify_one` and expects a deadlock report with a schedule);
+//! * lookup's claim-and-route transfer vs. last-waiter-out
+//!   cancellation: the job is found in exactly one ring, always
+//!   (`admitted == completed + cancelled`);
+//! * two coalesced waiters racing last-waiter-out cancel exactly once;
+//! * shutdown with in-flight solves drains every ring balanced
+//!   (`enqueued == dequeued`, `delivered == admitted`).
+
+#![cfg(feature = "sched-model")]
+
+use reqisc_sched::thread::spawn;
+use reqisc_sched::{check, explore, replay, ModelConfig};
+use reqisc_service::sync::atomic::{AtomicU64, Ordering};
+use reqisc_service::sync::{LockRecover, Mutex};
+use reqisc_service::{FifoRing, JobQueue, TryPop, DEFAULT_PRIORITY};
+use std::sync::Arc;
+
+/// `JobQueue::try_push` must wake a consumer blocked in `pop`. This is
+/// the lost-wakeup sentinel: the seeded CI smoke removes the
+/// `notify_one` from `try_push` and this model — which deliberately
+/// never calls `close()`, whose `notify_all` would mask the bug —
+/// must then deadlock with a replayable schedule.
+#[test]
+fn queue_push_wakes_blocked_pop() {
+    check("queue_push_wakes_blocked_pop", ModelConfig::default(), || {
+        let q = Arc::new(JobQueue::<u32>::new(2));
+        let qc = q.clone();
+        let consumer = spawn(move || qc.pop());
+        q.try_push(7, DEFAULT_PRIORITY).expect("queue has room");
+        let got = consumer.join().expect("consumer ran to completion");
+        assert_eq!(got, Some(7), "blocked pop observed the pushed job");
+    });
+}
+
+/// Same wakeup law for the completion ring: `push_completion` must
+/// wake a dispatcher blocked in `pop_completion`.
+#[test]
+fn ring_push_wakes_blocked_pop() {
+    check("ring_push_wakes_blocked_pop", ModelConfig::default(), || {
+        let r = Arc::new(FifoRing::<u32>::new());
+        let rc = r.clone();
+        let dispatcher = spawn(move || rc.pop_completion());
+        assert!(r.push_completion(9), "ring is open");
+        let got = dispatcher.join().expect("dispatcher ran to completion");
+        assert_eq!(got, Some(9), "blocked pop_completion observed the completion");
+    });
+}
+
+/// The lookup stage's claim-and-route transfer (`service.rs
+/// lookup_loop`) holds the inflight lock across `try_pop` + route, so
+/// last-waiter-out cancellation (`WaiterGuard::drop`), which removes
+/// ring entries under the same lock, always finds the job in exactly
+/// one ring: `submission.remove_first || solve.remove_first` succeeds
+/// in every interleaving and the admission ledger stays balanced.
+#[test]
+fn lookup_claim_vs_cancel_conserves_the_job() {
+    check("lookup_claim_vs_cancel", ModelConfig::default(), || {
+        let submission = Arc::new(JobQueue::<u32>::new(2));
+        let solve = Arc::new(JobQueue::<u32>::new(2));
+        // `true` = the key is still in the inflight map (one waiter).
+        let inflight = Arc::new(Mutex::new(true));
+        let cancelled = Arc::new(AtomicU64::new(0));
+        submission.try_push(1, DEFAULT_PRIORITY).expect("queue has room");
+
+        let (sub_l, solve_l, infl_l) = (submission.clone(), solve.clone(), inflight.clone());
+        let lookup = spawn(move || {
+            // Mirrors lookup_loop: the inflight lock spans pop + push.
+            let guard = infl_l.lock_recover();
+            if let TryPop::Job(job, priority) = sub_l.try_pop() {
+                solve_l.try_push(job, priority).expect("solve ring has room");
+            }
+            drop(guard);
+        });
+
+        let (sub_c, solve_c, infl_c, cancelled_c) =
+            (submission.clone(), solve.clone(), inflight.clone(), cancelled.clone());
+        let cancel = spawn(move || {
+            // Mirrors WaiterGuard::drop: remove the key, then pull the
+            // job out of whichever ring still holds it — same lock.
+            let mut guard = infl_c.lock_recover();
+            if *guard {
+                *guard = false;
+                if sub_c.remove_first(|_| true) || solve_c.remove_first(|_| true) {
+                    cancelled_c.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            drop(guard);
+        });
+
+        lookup.join().expect("lookup ran to completion");
+        cancel.join().expect("cancel ran to completion");
+        assert_eq!(
+            cancelled.load(Ordering::Relaxed),
+            1,
+            "cancellation lost the in-flight job"
+        );
+        assert!(submission.is_empty() && solve.is_empty(), "no ring retains the job");
+    });
+}
+
+/// The same scenario with the bug the lock order exists to prevent:
+/// dropping the inflight lock between the claim (`try_pop`) and the
+/// route (`try_push`) opens a window where cancellation finds the job
+/// in *neither* ring and the admission ledger leaks. The explorer
+/// must find that interleaving and hand back a deterministic,
+/// replayable schedule.
+#[test]
+fn explorer_catches_unlocked_transfer_race() {
+    let buggy = || {
+        let submission = Arc::new(JobQueue::<u32>::new(2));
+        let solve = Arc::new(JobQueue::<u32>::new(2));
+        let inflight = Arc::new(Mutex::new(true));
+        let cancelled = Arc::new(AtomicU64::new(0));
+        submission.try_push(1, DEFAULT_PRIORITY).expect("queue has room");
+
+        let (sub_l, solve_l, infl_l) = (submission.clone(), solve.clone(), inflight.clone());
+        let lookup = spawn(move || {
+            let guard = infl_l.lock_recover();
+            let popped = sub_l.try_pop();
+            drop(guard); // BUG: transfer window with no lock held
+            if let TryPop::Job(job, priority) = popped {
+                solve_l.try_push(job, priority).expect("solve ring has room");
+            }
+        });
+
+        let (sub_c, solve_c, infl_c, cancelled_c) =
+            (submission.clone(), solve.clone(), inflight.clone(), cancelled.clone());
+        let cancel = spawn(move || {
+            let mut guard = infl_c.lock_recover();
+            if *guard {
+                *guard = false;
+                if sub_c.remove_first(|_| true) || solve_c.remove_first(|_| true) {
+                    cancelled_c.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            drop(guard);
+        });
+
+        lookup.join().expect("lookup ran to completion");
+        cancel.join().expect("cancel ran to completion");
+        assert_eq!(
+            cancelled.load(Ordering::Relaxed),
+            1,
+            "cancellation lost the in-flight job"
+        );
+    };
+
+    let report = explore(ModelConfig::default(), buggy);
+    let failure = report.failure.expect("the unlocked transfer race must be found");
+    assert!(
+        failure.message.contains("cancellation lost the in-flight job"),
+        "failure is the leaked admission slot, got: {}",
+        failure.message
+    );
+    assert!(!failure.trace.is_empty(), "failure carries the step trace");
+    assert!(!failure.schedule.is_empty(), "failure carries a replay schedule");
+
+    // The schedule is a deterministic reproducer, not a one-off.
+    let again = replay(ModelConfig::default(), &failure.schedule, buggy);
+    let refound = again.failure.expect("replaying the schedule reproduces the race");
+    assert_eq!(refound.message, failure.message);
+}
+
+/// Two coalesced waiters racing `WaiterGuard::drop`: whichever leaves
+/// last — under the inflight lock — does the ring removal and the
+/// `cancelled` increment, and does each exactly once in every
+/// interleaving.
+#[test]
+fn coalesced_waiters_cancel_exactly_once() {
+    check("coalesced_waiters_last_out", ModelConfig::default(), || {
+        let submission = Arc::new(JobQueue::<u32>::new(2));
+        // The inflight map's waiter list for the one shared key.
+        let waiters = Arc::new(Mutex::new(vec![1u64, 2u64]));
+        let cancelled = Arc::new(AtomicU64::new(0));
+        submission.try_push(1, DEFAULT_PRIORITY).expect("queue has room");
+
+        let handles: Vec<_> = [1u64, 2u64]
+            .into_iter()
+            .map(|me| {
+                let (sub, waiters, cancelled) =
+                    (submission.clone(), waiters.clone(), cancelled.clone());
+                spawn(move || {
+                    let mut list = waiters.lock_recover();
+                    list.retain(|id| *id != me);
+                    if list.is_empty() && sub.remove_first(|_| true) {
+                        cancelled.fetch_add(1, Ordering::Relaxed);
+                    }
+                    drop(list);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("waiter drop ran to completion");
+        }
+        assert_eq!(
+            cancelled.load(Ordering::Relaxed),
+            1,
+            "exactly one waiter performs the cancellation"
+        );
+        assert!(submission.is_empty(), "the job left the ring exactly once");
+    });
+}
+
+/// Shutdown racing in-flight solves: the stages are closed in pipeline
+/// order while the lookup / solve / dispatch threads are mid-transfer.
+/// In every interleaving the rings drain balanced (`enqueued ==
+/// dequeued` on each) and every admitted job is delivered.
+#[test]
+fn shutdown_with_inflight_solve_drains_balanced() {
+    // One preemption is enough to interleave the close() calls into
+    // every stage handoff; bound 2 here multiplies the schedule count
+    // well past what a test budget buys in extra coverage.
+    let cfg = ModelConfig { max_preemptions: 1, ..ModelConfig::default() };
+    check("shutdown_drains_balanced", cfg, || {
+        let submission = Arc::new(JobQueue::<u32>::new(4));
+        let solve = Arc::new(JobQueue::<u32>::new(4));
+        let completions = Arc::new(FifoRing::<u32>::new());
+        let delivered = Arc::new(AtomicU64::new(0));
+        const ADMITTED: u64 = 2;
+        for job in 0..ADMITTED {
+            submission.try_push(job as u32, DEFAULT_PRIORITY).expect("queue has room");
+        }
+
+        let (sub, solve_in) = (submission.clone(), solve.clone());
+        let lookup = spawn(move || loop {
+            match sub.try_pop() {
+                TryPop::Job(job, priority) => {
+                    solve_in.try_push(job, priority).expect("solve ring has room");
+                }
+                TryPop::Closed => return,
+                TryPop::Empty => sub.wait_nonempty(),
+            }
+        });
+
+        let (solve_out, ring_in) = (solve.clone(), completions.clone());
+        let solver = spawn(move || {
+            while let Some(job) = solve_out.pop() {
+                assert!(ring_in.push_completion(job), "completion ring open while solving");
+            }
+        });
+
+        let (ring_out, delivered_d) = (completions.clone(), delivered.clone());
+        let dispatcher = spawn(move || {
+            while ring_out.pop_completion().is_some() {
+                delivered_d.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+
+        // Shutdown order from Service::shutdown: close each stage's
+        // input only after the producing stage has been joined.
+        submission.close();
+        lookup.join().expect("lookup exited on close");
+        solve.close();
+        solver.join().expect("solver exited on close");
+        completions.close();
+        dispatcher.join().expect("dispatcher exited on close");
+
+        assert_eq!(delivered.load(Ordering::Relaxed), ADMITTED, "delivered == admitted");
+        for (name, stats) in [
+            ("submission", submission.ring_stats()),
+            ("solve", solve.ring_stats()),
+            ("completions", completions.ring_stats()),
+        ] {
+            assert_eq!(
+                stats.enqueued, stats.dequeued,
+                "{name} ring drained balanced at shutdown"
+            );
+        }
+    });
+}
