@@ -19,7 +19,15 @@
 //!   congested service serially. The staged-pipeline proof is the stage
 //!   counters, not wall time: the warm requests must all short-circuit
 //!   in the lookup stage (`lookup_hits` delta == warm count) and never
-//!   be claimed by a solve worker (`solve_claimed` delta == cold count).
+//!   be claimed by a solve worker (`solve_claimed` delta == cold count);
+//! * **shared_warm** (only when `REQISC_SHM_PATH` is set) — a *second*
+//!   service instance with no store and cold local pools attaches the
+//!   shared-memory segment the first instance's solve workers published
+//!   into, and replays every request serially. Hard counter assertions:
+//!   every request is a lookup hit answered by the shared tier
+//!   (`shared.hits == lookup_hits == requests`) and `solve_claimed`
+//!   stays 0 — the peer's work reused bit-for-bit (fingerprint-checked)
+//!   with zero duplicate solves.
 //!
 //! Environment knobs (shared semantics — see `reqisc_bench::env`):
 //!
@@ -30,6 +38,9 @@
 //! * `REQISC_SERVE_LOOKUP_WORKERS=<n>` — lookup-stage workers (default 1);
 //! * `REQISC_CACHE_DIR=<dir>` — persist/load the store in `<dir>` (the
 //!   service loads it at startup, so a second run starts disk-warm);
+//! * `REQISC_SHM_PATH=<file>` / `REQISC_SHM_CAPACITY_BYTES=<n>` — attach
+//!   the crash-safe shared-memory cache segment and run the
+//!   `shared_warm` tier against it;
 //! * `REQISC_BENCH_JSON=<path>` — write the machine-readable results
 //!   (tier rows + mixed-tier counter deltas + the final stats snapshot);
 //! * `REQISC_BENCH_GIT_REV=<rev>` — revision stamp for the JSON artifact
@@ -98,10 +109,14 @@ fn main() {
         .collect();
     eprintln!("{} programs × {} pipelines = {} requests", programs.len(), pipelines.len(), jobs.len());
 
+    let shm_path = env::SHM_PATH.path();
+    let shm_capacity_bytes = env::SHM_CAPACITY_BYTES.u64_or(reqisc_service::DEFAULT_SHM_CAPACITY_BYTES);
     let service = Service::start(ServiceConfig {
         workers,
         lookup_workers: env::SERVE_LOOKUP_WORKERS.usize_or(1),
         cache_dir: env_cache_dir(),
+        shm_path: shm_path.clone(),
+        shm_capacity_bytes,
         // Pass 3 submits the whole batch before awaiting anything, and
         // pass 4 keeps a full cold batch in flight while warm traffic
         // rides through; admission must cover both or the bench would
@@ -259,6 +274,72 @@ fn main() {
         eprintln!("# assertion passed: zero warm jobs entered the solve stage");
     }
 
+    // Pass 5: shared_warm — the cross-process reuse proof. The first
+    // instance's solve workers published every finished program into the
+    // shared segment; a second instance with no store and cold local
+    // pools must now answer the whole workload from that segment alone.
+    // Hard assertions (counters, never wall time): all requests are
+    // lookup hits, every one answered by the shared tier, and not one
+    // solve claim — a duplicated solve anywhere fails the run.
+    let mut shared_warm: Option<Json> = None;
+    if let Some(shm) = shm_path {
+        let peer = Service::start(ServiceConfig {
+            workers,
+            lookup_workers: env::SERVE_LOOKUP_WORKERS.usize_or(1),
+            shm_path: Some(shm),
+            shm_capacity_bytes,
+            queue_capacity: (2 * jobs.len()).max(256),
+            ..ServiceConfig::default()
+        });
+        let mut lat = Vec::with_capacity(jobs.len());
+        let t0 = Instant::now();
+        for (i, (c, p)) in jobs.iter().enumerate() {
+            let t = Instant::now();
+            let done = peer
+                .submit_compile(c.clone(), *p, reqisc_service::DEFAULT_PRIORITY)
+                .expect("submit shared warm")
+                .wait()
+                .expect("compile shared warm");
+            lat.push(t.elapsed().as_nanos() as u64);
+            assert_eq!(
+                done.circuit.expect("circuit").content_hash(),
+                fingerprints[i],
+                "shared-warm result diverged from the publishing peer's"
+            );
+        }
+        tiers.push(row("shared_warm", &mut lat, t0.elapsed().as_secs_f64()));
+        let ps = peer.stats_snapshot();
+        let sh = ps.shared.expect("peer attached the shared segment");
+        let n = jobs.len() as u64;
+        println!(
+            "# shared_warm: {n} requests | shared hits {} (seeded {} subprogram entries, \
+             segment holds {}) | lookup_hits {} solve_claimed {}",
+            sh.hits, sh.seeded, sh.entries, ps.stages.lookup_hits, ps.stages.solve_claimed
+        );
+        assert_eq!(
+            ps.stages.lookup_hits, n,
+            "every shared-warm request must short-circuit in the lookup stage"
+        );
+        assert_eq!(
+            sh.hits, n,
+            "every shared-warm hit must come from the shared segment, not local pools"
+        );
+        assert_eq!(
+            ps.stages.solve_claimed, 0,
+            "a shared-warm request duplicated a solve the peer already published"
+        );
+        shared_warm = Some(Json::obj(vec![
+            ("requests", Json::num_u64(n)),
+            ("lookup_hits", Json::num_u64(ps.stages.lookup_hits)),
+            ("solve_claimed", Json::num_u64(ps.stages.solve_claimed)),
+            ("shared_hits", Json::num_u64(sh.hits)),
+            ("shared_seeded", Json::num_u64(sh.seeded)),
+            ("segment_entries", Json::num_u64(sh.entries)),
+            ("zero_duplicate_solves", Json::Bool(ps.stages.solve_claimed == 0)),
+        ]));
+        peer.shutdown();
+    }
+
     let s = service.stats_snapshot();
     println!("# service: submitted {} completed {} coalesced {} rejected {}",
         s.service.submitted, s.service.completed, s.service.coalesced,
@@ -284,7 +365,7 @@ fn main() {
         // coded to 0). Schema 2 records real submit→completion latencies
         // (ns-sourced, emitted as fractional ms) and carries this stamp.
         let git_rev = env::BENCH_GIT_REV.var().unwrap_or_else(|| "unknown".into());
-        let doc = Json::obj(vec![
+        let mut fields = vec![
             ("bench", Json::str("servebench")),
             ("schema_version", Json::num_u64(2)),
             ("git_rev", Json::str(&git_rev)),
@@ -292,8 +373,12 @@ fn main() {
             ("requests", Json::num_u64(jobs.len() as u64)),
             ("tiers", Json::Arr(tiers)),
             ("mixed", mixed),
-            ("stats", s.to_json()),
-        ]);
+        ];
+        if let Some(sw) = shared_warm {
+            fields.push(("shared_warm", sw));
+        }
+        fields.push(("stats", s.to_json()));
+        let doc = Json::obj(fields);
         match std::fs::write(&path, doc.emit() + "\n") {
             Ok(()) => eprintln!("# wrote {}", path.display()),
             Err(e) => {

@@ -31,6 +31,7 @@ pub mod partition;
 pub mod pauli_frontend;
 pub mod pipelines;
 pub mod sabre;
+pub mod sharing;
 pub mod store;
 pub mod template_pass;
 pub mod topology;
@@ -51,6 +52,10 @@ pub use store::{CacheStore, CompactOutcome, LoadOutcome, StoreStats, STORE_FORMA
 pub use pipelines::{
     distinct_su4_count, distinct_su4_count_with_tol, gate_duration, metrics, Compiler, Metrics,
     Pipeline,
+};
+pub use sharing::{
+    probe_shared_program, publish_all, publish_program, seed_from_segment, seed_subprogram_pools,
+    ShareStats, POOL_PROGRAM, POOL_PULSE, POOL_SYNTHESIS,
 };
 pub use sabre::{
     expand_swaps_to_cx, route, routing_preserves_semantics, RouteOptions, Routed, Router,

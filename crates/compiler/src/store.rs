@@ -91,8 +91,12 @@ pub const STORE_MAGIC: [u8; 4] = *b"RQCS";
 /// tolerances baked into the keys.
 ///
 /// History: v1 = PR 3 (no generations); v2 adds the file generation and
-/// per-entry last-referenced stamps that GC/compaction ages on.
-pub const STORE_FORMAT_VERSION: u32 = 2;
+/// per-entry last-referenced stamps that GC/compaction ages on; v3 adds
+/// `ByteReader::get_bytes` plus the shared-memory segment surface (the
+/// `reqisc-shmem` header/record layout and the `sharing` pool-tag +
+/// key/value codecs) — segments stamp this version into their header,
+/// so the bump retires any segment written before the surface existed.
+pub const STORE_FORMAT_VERSION: u32 = 3;
 
 /// Store file name inside the store directory.
 pub const STORE_FILE_NAME: &str = "reqisc-cache.bin";

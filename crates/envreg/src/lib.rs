@@ -42,6 +42,12 @@ impl EnvKnob {
         self.var().and_then(|v| v.parse().ok()).unwrap_or(default)
     }
 
+    /// Byte-size knob (`u64` even on 32-bit hosts — segment capacities
+    /// exceed `usize` there): `default` when unset or unparseable.
+    pub fn u64_or(&self, default: u64) -> u64 {
+        self.var().and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
     /// Float knob (`None` when unset/unparseable) — the shape of the
     /// `REQISC_REQUIRE_*` assertion thresholds.
     pub fn f64(&self) -> Option<f64> {
@@ -69,6 +75,18 @@ impl EnvKnob {
 pub const CACHE_DIR: EnvKnob = EnvKnob {
     name: "REQISC_CACHE_DIR",
     doc: "Persistent compile-store directory (daemon + every bench binary); unset/empty = in-memory only",
+};
+
+/// Shared-memory cache segment path (the cross-daemon warm tier).
+pub const SHM_PATH: EnvKnob = EnvKnob {
+    name: "REQISC_SHM_PATH",
+    doc: "Shared-memory cache segment file attached by reqiscd and servebench (unset/empty = no shared tier)",
+};
+
+/// Capacity used when the shared segment is (re)created.
+pub const SHM_CAPACITY_BYTES: EnvKnob = EnvKnob {
+    name: "REQISC_SHM_CAPACITY_BYTES",
+    doc: "Shared segment capacity in bytes when it is first created (default 67108864 = 64 MiB; existing segments keep theirs)",
 };
 
 /// Benchsuite scale switch: `paper` selects Table-1-sized programs.
@@ -182,6 +200,8 @@ pub const REQUIRE_ZERO_WARM_SOLVES: EnvKnob = EnvKnob {
 /// Every declared knob, in the order the README table presents them.
 pub const ALL: &[&EnvKnob] = &[
     &CACHE_DIR,
+    &SHM_PATH,
+    &SHM_CAPACITY_BYTES,
     &SCALE,
     &TRIALS,
     &HAAR_SAMPLES,

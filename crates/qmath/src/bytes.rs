@@ -204,6 +204,12 @@ impl<'a> ByteReader<'a> {
     pub fn get_f64(&mut self) -> Result<f64, CodecError> {
         Ok(f64::from_bits(self.get_u64()?))
     }
+
+    /// Borrows the next `len` raw bytes (bounds-checked) — the reader
+    /// half of [`ByteWriter::put_bytes`] for length-prefixed blobs.
+    pub fn get_bytes(&mut self, len: usize) -> Result<&'a [u8], CodecError> {
+        self.take(len)
+    }
 }
 
 /// Encodes a complex scalar as `(re, im)` raw bits.

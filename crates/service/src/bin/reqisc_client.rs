@@ -7,6 +7,7 @@
 //!   submit --pipeline P (--bench NAME | --qasm-file FILE) [--priority N]
 //!   suite [--take N] [--pipelines a,b,...]      submit demo-suite programs
 //!   stats [--require-program-hit-pct X] [--require-zero-rejected]
+//!         [--require-shared-hits N] [--require-zero-solves]
 //!   snapshot
 //!   compact [--max-idle-gens N]
 //!   shutdown
@@ -30,6 +31,7 @@ fn main() {
              (submit --pipeline P (--bench NAME | --qasm-file F) [--priority N] \
              | suite [--take N] [--pipelines a,b] \
              | stats [--require-program-hit-pct X] [--require-zero-rejected] \
+             [--require-shared-hits N] [--require-zero-solves] \
              | snapshot | compact [--max-idle-gens N] | shutdown)"
         );
         std::process::exit(2);
@@ -72,6 +74,8 @@ fn main() {
     // Build the request lines.
     let mut require_hit_pct: Option<f64> = None;
     let mut require_zero_rejected = false;
+    let mut require_shared_hits: Option<u64> = None;
+    let mut require_zero_solves = false;
     let mut lines: Vec<String> = Vec::new();
     let mut next_id = 1u64;
     let mut id = || {
@@ -124,6 +128,8 @@ fn main() {
         "stats" => {
             require_hit_pct = flag("--require-program-hit-pct").and_then(|v| v.parse().ok());
             require_zero_rejected = has("--require-zero-rejected");
+            require_shared_hits = flag("--require-shared-hits").and_then(|v| v.parse().ok());
+            require_zero_solves = has("--require-zero-solves");
             lines.push(format!("{{\"id\":{},\"op\":\"stats\"}}", id()));
         }
         "snapshot" => lines.push(format!("{{\"id\":{},\"op\":\"snapshot\"}}", id())),
@@ -217,6 +223,39 @@ fn main() {
                             failures += 1;
                         } else {
                             eprintln!("# assertion passed: program-pool hit rate {rate:.1}% >= {pct}%");
+                        }
+                    }
+                    if let Some(min) = require_shared_hits {
+                        match s.shared {
+                            Some(sh) if sh.hits >= min => {
+                                eprintln!(
+                                    "# assertion passed: {} shared-segment hits >= {min}",
+                                    sh.hits
+                                );
+                            }
+                            Some(sh) => {
+                                eprintln!(
+                                    "ASSERTION FAILED: {} shared-segment hits < {min}",
+                                    sh.hits
+                                );
+                                failures += 1;
+                            }
+                            None => {
+                                eprintln!("ASSERTION FAILED: service has no shared segment");
+                                failures += 1;
+                            }
+                        }
+                    }
+                    if require_zero_solves {
+                        let claimed = s.stages.solve_claimed;
+                        if claimed == 0 {
+                            eprintln!("# assertion passed: zero solve claims (fully warm)");
+                        } else {
+                            eprintln!(
+                                "ASSERTION FAILED: {claimed} solve claim(s) — a warm \
+                                 workload duplicated a peer's solve"
+                            );
+                            failures += 1;
                         }
                     }
                     if require_zero_rejected {

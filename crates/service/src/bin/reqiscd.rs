@@ -28,8 +28,15 @@
 //!   more than N store generations are dropped (default: GC off);
 //! * `--pool-shards N` / `--pool-capacity N` — bound the in-memory memo
 //!   pools (LRU eviction; default generous/off);
+//! * `--shm-path PATH` — attach the shared-memory cache segment at PATH
+//!   (default: the `REQISC_SHM_PATH` environment knob; no shared tier
+//!   when both unset);
+//! * `--shm-capacity-bytes N` — capacity if the segment does not exist
+//!   yet (default: `REQISC_SHM_CAPACITY_BYTES`, else 64 MiB);
 //! * `--compact-now` — run one compaction over `--cache-dir` with
-//!   `--gc-idle-gens` (default 2 in this mode) and exit;
+//!   `--gc-idle-gens` (default 2 in this mode) — and over the
+//!   `--shm-path` segment, if one is configured and no daemon is
+//!   attached — then exit;
 //! * `--debug-ops` — accept the `sleep`/`panic` debug ops.
 
 use reqisc_service::{cache_dir_from_env, serve_lines, Service, ServiceConfig};
@@ -48,7 +55,7 @@ fn usage() -> ! {
         "usage: reqiscd [--socket PATH | --stdio | --compact-now] [--cache-dir DIR] \
          [--workers N] [--lookup-workers N] [--solve-delay-ms MS] [--queue-capacity N] \
          [--snapshot-secs S] [--gc-idle-gens N] [--pool-shards N] [--pool-capacity N] \
-         [--debug-ops]"
+         [--shm-path PATH] [--shm-capacity-bytes N] [--debug-ops]"
     );
     std::process::exit(2);
 }
@@ -62,6 +69,9 @@ fn parse_args() -> Args {
             cache_dir: cache_dir_from_env(),
             snapshot_interval: Some(Duration::from_secs(30)),
             lookup_workers: reqisc_env::SERVE_LOOKUP_WORKERS.usize_or(1),
+            shm_path: reqisc_env::SHM_PATH.path(),
+            shm_capacity_bytes: reqisc_env::SHM_CAPACITY_BYTES
+                .u64_or(reqisc_service::DEFAULT_SHM_CAPACITY_BYTES),
             ..ServiceConfig::default()
         },
     };
@@ -101,6 +111,11 @@ fn parse_args() -> Args {
                 args.config.gc_max_idle_gens =
                     Some(parse_num(&val("--gc-idle-gens"), "--gc-idle-gens"));
             }
+            "--shm-path" => args.config.shm_path = Some(PathBuf::from(val("--shm-path"))),
+            "--shm-capacity-bytes" => {
+                args.config.shm_capacity_bytes =
+                    parse_num(&val("--shm-capacity-bytes"), "--shm-capacity-bytes")
+            }
             "--pool-shards" => pool_shards = parse_num(&val("--pool-shards"), "--pool-shards"),
             "--pool-capacity" => {
                 pool_capacity = Some(parse_num(&val("--pool-capacity"), "--pool-capacity"))
@@ -128,30 +143,59 @@ fn main() {
     let args = parse_args();
 
     if args.compact_now {
-        let Some(dir) = args.config.cache_dir.clone() else {
-            eprintln!("--compact-now needs --cache-dir (or REQISC_CACHE_DIR)");
+        if args.config.cache_dir.is_none() && args.config.shm_path.is_none() {
+            eprintln!(
+                "--compact-now needs --cache-dir (or REQISC_CACHE_DIR) \
+                 and/or --shm-path (or REQISC_SHM_PATH)"
+            );
             std::process::exit(2);
-        };
+        }
         // One offline GC pass: nothing is live (no resident cache), so
         // only the idle-generation threshold decides what survives. The
         // default of 2 keeps everything referenced in the last two
         // saves — pass --gc-idle-gens 0 to keep nothing.
         let max_idle = args.config.gc_max_idle_gens.unwrap_or(2);
-        let store = reqisc_compiler::CacheStore::new(&dir);
-        let cache = reqisc_compiler::CompileCache::new();
-        match store.compact(&cache, max_idle) {
-            Ok(o) => {
-                println!(
-                    "compacted {} (generation {}): kept {}, dropped {}",
-                    store.path().display(),
-                    o.generation,
-                    o.kept,
-                    o.dropped
-                );
+        if let Some(dir) = args.config.cache_dir.clone() {
+            let store = reqisc_compiler::CacheStore::new(&dir);
+            let cache = reqisc_compiler::CompileCache::new();
+            match store.compact(&cache, max_idle) {
+                Ok(o) => {
+                    println!(
+                        "compacted {} (generation {}): kept {}, dropped {}",
+                        store.path().display(),
+                        o.generation,
+                        o.kept,
+                        o.dropped
+                    );
+                }
+                Err(e) => {
+                    eprintln!("compaction failed: {e}");
+                    std::process::exit(1);
+                }
             }
-            Err(e) => {
-                eprintln!("compaction failed: {e}");
-                std::process::exit(1);
+        }
+        // The shared segment compacts under the same idle-generation
+        // threshold; it requires exclusive access (every daemon
+        // detached) and reports Busy otherwise.
+        if let Some(shm) = args.config.shm_path.clone() {
+            match reqisc_shmem::compact_file(
+                &shm,
+                args.config.shm_capacity_bytes,
+                reqisc_compiler::STORE_FORMAT_VERSION,
+                max_idle,
+            ) {
+                Ok(r) => {
+                    println!(
+                        "compacted segment {}: kept {}, dropped {}",
+                        shm.display(),
+                        r.kept,
+                        r.dropped
+                    );
+                }
+                Err(e) => {
+                    eprintln!("segment compaction failed: {e}");
+                    std::process::exit(1);
+                }
             }
         }
         return;

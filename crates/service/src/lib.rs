@@ -55,7 +55,7 @@ pub mod sync;
 pub use json::{Json, JsonError};
 pub use protocol::{
     parse_request, CompileSource, Request, RequestBody, RingCounters as StageRingCounters,
-    ServiceCounters, StageCounters, StatsSnapshot,
+    ServiceCounters, SharedCounters, StageCounters, StatsSnapshot,
 };
 pub use queue::{JobQueue, Priority, QueueFull, RingStats, TryPop, DEFAULT_PRIORITY, MAX_PRIORITY};
 pub use ring::FifoRing;
@@ -64,6 +64,7 @@ pub use server::{serve_lines, ServeOutcome};
 pub use server::serve_unix;
 pub use service::{
     DebugOp, JobDone, JobResult, Service, ServiceConfig, SnapshotReport, SubmitError, Ticket,
+    DEFAULT_SHM_CAPACITY_BYTES,
 };
 
 /// The cache-directory environment variable every consumer of the

@@ -257,6 +257,30 @@ pub struct StageCounters {
     pub delivered: u64,
 }
 
+/// Counters of the shared-memory cache tier (the cross-daemon segment).
+/// The CI-asserted invariant: a daemon whose whole workload was solved
+/// by a peer on the same segment shows `hits > 0` and `solve_claimed ==
+/// 0` — warm across processes with zero duplicate solves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedCounters {
+    /// Lookup-stage probes answered by the shared segment (each is also
+    /// a `lookup_hits` warm short-circuit; `hits <= lookup_hits`).
+    pub hits: u64,
+    /// Entries this daemon newly appended to the segment.
+    pub published: u64,
+    /// Publishes that found the entry already present (a peer — or an
+    /// earlier pass — won the race; the common case for a warm pool).
+    pub duplicates: u64,
+    /// Publishes rejected because the segment was full.
+    pub full_rejects: u64,
+    /// Entries seeded into the local pools from the segment at startup.
+    pub seeded: u64,
+    /// Entries resident in the segment right now (gauge).
+    pub entries: u64,
+    /// The segment's GC generation clock (gauge).
+    pub generation: u64,
+}
+
 /// Everything the `stats` op reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StatsSnapshot {
@@ -268,6 +292,8 @@ pub struct StatsSnapshot {
     pub cache: CompileCacheStats,
     /// Store counters (`None` when the service runs without a store).
     pub store: Option<StoreStats>,
+    /// Shared-segment counters (`None` when no segment is attached).
+    pub shared: Option<SharedCounters>,
 }
 
 fn solver_stats_json(s: &SolverStats) -> Json {
@@ -407,6 +433,20 @@ impl StatsSnapshot {
                 ]),
             ));
         }
+        if let Some(sh) = &self.shared {
+            members.push((
+                "shared",
+                Json::obj(vec![
+                    ("hits", Json::num_u64(sh.hits)),
+                    ("published", Json::num_u64(sh.published)),
+                    ("duplicates", Json::num_u64(sh.duplicates)),
+                    ("full_rejects", Json::num_u64(sh.full_rejects)),
+                    ("seeded", Json::num_u64(sh.seeded)),
+                    ("entries", Json::num_u64(sh.entries)),
+                    ("generation", Json::num_u64(sh.generation)),
+                ]),
+            ));
+        }
         Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
@@ -453,7 +493,24 @@ impl StatsSnapshot {
                 })
             }
         };
-        Ok(StatsSnapshot { service, stages, cache, store })
+        let shared = match v.get("shared") {
+            None => None,
+            Some(sh) => {
+                let f = |k: &str| {
+                    sh.get(k).and_then(Json::as_u64).ok_or(format!("missing counter '{k}'"))
+                };
+                Some(SharedCounters {
+                    hits: f("hits")?,
+                    published: f("published")?,
+                    duplicates: f("duplicates")?,
+                    full_rejects: f("full_rejects")?,
+                    seeded: f("seeded")?,
+                    entries: f("entries")?,
+                    generation: f("generation")?,
+                })
+            }
+        };
+        Ok(StatsSnapshot { service, stages, cache, store, shared })
     }
 }
 
@@ -549,13 +606,22 @@ mod tests {
                 compactions: 2,
                 gc_dropped: 17,
             }),
+            shared: Some(SharedCounters {
+                hits: 11,
+                published: 6,
+                duplicates: 4,
+                full_rejects: 1,
+                seeded: 9,
+                entries: 15,
+                generation: 3,
+            }),
         };
         let j = snap.to_json();
         let back = StatsSnapshot::from_json(&Json::parse(&j.emit()).expect("emit parses"))
             .expect("from_json");
         assert_eq!(back, snap, "every counter must survive the wire");
-        // Store-less snapshots round-trip too.
-        let no_store = StatsSnapshot { store: None, ..snap };
+        // Store-less / segment-less snapshots round-trip too.
+        let no_store = StatsSnapshot { store: None, shared: None, ..snap };
         let back = StatsSnapshot::from_json(&no_store.to_json()).expect("from_json");
         assert_eq!(back, no_store);
     }

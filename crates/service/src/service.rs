@@ -68,15 +68,17 @@
 //! to take the next job.
 
 use crate::protocol::{
-    CompileSource, RingCounters, ServiceCounters, StageCounters, StatsSnapshot,
+    CompileSource, RingCounters, ServiceCounters, SharedCounters, StageCounters, StatsSnapshot,
 };
 use crate::queue::{JobQueue, Priority, QueueFull, RingStats, TryPop};
 use crate::ring::FifoRing;
 use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::sync::{Condvar, LockRecover, Mutex};
 use reqisc_compiler::{
-    CacheStore, CompactOutcome, CompileCache, Compiler, LoadOutcome, Pipeline,
+    sharing, CacheStore, CompactOutcome, CompileCache, Compiler, LoadOutcome, Pipeline,
+    STORE_FORMAT_VERSION,
 };
+use reqisc_shmem::Segment;
 use reqisc_qcircuit::{parse_bounded, Circuit, ParseLimits};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -123,7 +125,18 @@ pub struct ServiceConfig {
     /// falls back to the `REQISC_DEBUG_SOLVE_DELAY_MS` env knob (unset
     /// or `0` = no delay).
     pub solve_delay_ms: Option<u64>,
+    /// Shared-memory cache segment to attach (`None` = no shared tier).
+    /// The lookup stage probes it between the local pool and a cold
+    /// solve; solve workers publish every finished program into it, so
+    /// every daemon attached to the same file hits instantly.
+    pub shm_path: Option<PathBuf>,
+    /// Capacity used if the segment file does not exist yet (an
+    /// existing valid segment keeps its own).
+    pub shm_capacity_bytes: u64,
 }
+
+/// Default [`ServiceConfig::shm_capacity_bytes`]: 64 MiB.
+pub const DEFAULT_SHM_CAPACITY_BYTES: u64 = 64 << 20;
 
 impl Default for ServiceConfig {
     fn default() -> Self {
@@ -138,6 +151,8 @@ impl Default for ServiceConfig {
             parse_limits: ParseLimits::default(),
             lookup_workers: 1,
             solve_delay_ms: None,
+            shm_path: None,
+            shm_capacity_bytes: DEFAULT_SHM_CAPACITY_BYTES,
         }
     }
 }
@@ -299,6 +314,30 @@ struct Counters {
     snapshots: AtomicU64,
 }
 
+/// Service-side tallies of shared-segment traffic. Separate from the
+/// segment's own [`reqisc_shmem::SegStats`] on purpose: these count what
+/// *this daemon's pipeline* did (deterministic per process, what CI
+/// asserts), not every probe any attached process ever made.
+#[derive(Default)]
+struct SharedAtomics {
+    hits: AtomicU64,
+    published: AtomicU64,
+    duplicates: AtomicU64,
+    full_rejects: AtomicU64,
+    seeded: AtomicU64,
+}
+
+impl SharedAtomics {
+    fn absorb(&self, outcome: reqisc_shmem::PublishOutcome) {
+        use reqisc_shmem::PublishOutcome::*;
+        match outcome {
+            Published => self.published.fetch_add(1, Ordering::Relaxed),
+            Duplicate => self.duplicates.fetch_add(1, Ordering::Relaxed),
+            SegmentFull => self.full_rejects.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
 /// Per-stage transit counters (the scalar half of the `stages` member of
 /// the `stats` JSON; the rings report their own enqueue/dequeue/wait).
 #[derive(Default)]
@@ -335,6 +374,9 @@ struct Inner {
     in_system: AtomicU64,
     capacity: usize,
     inflight: Mutex<HashMap<JobKey, Vec<(u64, mpsc::Sender<JobResult>)>>>,
+    /// The shared-memory cache segment (`None` = no shared tier).
+    shared: Option<Segment>,
+    shared_stats: SharedAtomics,
     counters: Counters,
     stage: StageAtomics,
     done_seq: AtomicU64,
@@ -389,16 +431,37 @@ impl Inner {
         }
     }
 
+    /// Probes the two warm tiers for a compile key: the local program
+    /// pool first, then the shared segment (seeding the local pool on a
+    /// segment hit, so the *next* probe of this key never leaves the
+    /// process). A segment hit counts under both `lookup_hits` (it is a
+    /// warm short-circuit like any other) and `shared.hits` (which tier
+    /// answered); `shared.hits <= lookup_hits` always.
+    fn probe_tiers(&self, key: &JobKey) -> Option<Arc<Circuit>> {
+        if let Some(hit) = self.compiler.lookup_program(key.circuit, key.pipeline, key.options) {
+            return Some(hit);
+        }
+        let seg = self.shared.as_ref()?;
+        let hit = sharing::probe_shared_program(
+            seg,
+            self.compiler.cache(),
+            key.circuit,
+            key.pipeline,
+            key.options,
+        )?;
+        self.shared_stats.hits.fetch_add(1, Ordering::Relaxed);
+        Some(hit)
+    }
+
     /// Routes one claimed job (inflight lock held by the caller): a warm
-    /// program-pool probe hit completes immediately; a miss — counted by
-    /// the eventual solve-stage `compile`, not the probe — forwards at
-    /// the job's original (possibly boosted) priority.
+    /// probe hit — local pool or shared segment — completes immediately;
+    /// a miss — counted by the eventual solve-stage `compile`, not the
+    /// probe — forwards at the job's original (possibly boosted)
+    /// priority.
     fn route(&self, job: Job, priority: Priority) {
         match job {
             Job::Compile { key, circuit, pipeline } => {
-                if let Some(hit) =
-                    self.compiler.lookup_program(key.circuit, key.pipeline, key.options)
-                {
+                if let Some(hit) = self.probe_tiers(&key) {
                     self.stage.lookup_hits.fetch_add(1, Ordering::Relaxed);
                     self.release();
                     self.completions.push_completion(Completion {
@@ -452,7 +515,24 @@ impl Inner {
                         self.compiler.compile(&circuit, pipeline)
                     }));
                     let outcome = match out {
-                        Ok(c) => Ok(Some(Arc::new(c))),
+                        Ok(c) => {
+                            let c = Arc::new(c);
+                            // Publish at completion: every daemon on the
+                            // box sees this solve as a warm hit from now
+                            // on. A `Duplicate` means a peer solved the
+                            // same key concurrently — their entry is
+                            // byte-identical, so losing the race is free.
+                            if let Some(seg) = &self.shared {
+                                self.shared_stats.absorb(sharing::publish_program(
+                                    seg,
+                                    key.circuit,
+                                    key.pipeline,
+                                    key.options,
+                                    &c,
+                                ));
+                            }
+                            Ok(Some(c))
+                        }
                         Err(p) => Err(format!("compile panicked: {}", panic_message(&p))),
                     };
                     self.completions
@@ -513,13 +593,19 @@ impl Inner {
     }
 
     /// One snapshot: a compacting save when GC is configured, else plain.
+    /// Either way the local pools are also bulk-published into the
+    /// shared segment first, and a compacting pass advances the
+    /// segment's generation clock so idle shared entries age alongside
+    /// idle store entries.
     fn snapshot(&self, gc_override: Option<u64>) -> std::io::Result<SnapshotReport> {
+        let gc = gc_override.or(self.gc_max_idle_gens);
+        self.publish_shared(gc.is_some());
         let Some(store) = &self.store else {
             return Ok(SnapshotReport::NoStore);
         };
         let _guard = self.store_lock.lock_recover();
         self.counters.snapshots.fetch_add(1, Ordering::Relaxed);
-        match gc_override.or(self.gc_max_idle_gens) {
+        match gc {
             Some(max_idle) => {
                 let o = store.compact(self.compiler.cache(), max_idle)?;
                 Ok(SnapshotReport::Compacted(o))
@@ -528,6 +614,21 @@ impl Inner {
                 let n = store.save(self.compiler.cache())?;
                 Ok(SnapshotReport::Saved { entries: n })
             }
+        }
+    }
+
+    /// Bulk-publishes every local pool entry into the shared segment
+    /// (the snapshot/shutdown hook; per-solve publishing makes most of
+    /// these `Duplicate`s — this pass catches entries that arrived via
+    /// store load or sub-program pools instead of a solve).
+    fn publish_shared(&self, gc_tick: bool) {
+        let Some(seg) = &self.shared else { return };
+        let s = sharing::publish_all(seg, self.compiler.cache());
+        self.shared_stats.published.fetch_add(s.published, Ordering::Relaxed);
+        self.shared_stats.duplicates.fetch_add(s.duplicates, Ordering::Relaxed);
+        self.shared_stats.full_rejects.fetch_add(s.full_rejects, Ordering::Relaxed);
+        if gc_tick {
+            seg.bump_generation();
         }
     }
 }
@@ -606,6 +707,32 @@ impl Service {
             .map(Duration::from_millis);
         let store = config.cache_dir.as_ref().map(CacheStore::new);
         let startup_load = store.as_ref().map(|s| s.load_into(compiler.cache()));
+        // The shared segment attaches under the same format version as
+        // the store, so a codec bump invalidates stale segments exactly
+        // like stale store files. Attach failure degrades to running
+        // without the shared tier — a cache must never stop the service.
+        let shared = config.shm_path.as_ref().and_then(|p| {
+            match Segment::attach(p, config.shm_capacity_bytes, STORE_FORMAT_VERSION) {
+                Ok(seg) => Some(seg),
+                Err(e) => {
+                    eprintln!(
+                        "# reqisc-service: shared segment {} unusable ({e}); \
+                         continuing without the shared tier",
+                        p.display()
+                    );
+                    None
+                }
+            }
+        });
+        let shared_stats = SharedAtomics::default();
+        if let Some(seg) = &shared {
+            // Only the sub-program pools seed eagerly: synthesis/pulse
+            // entries are consulted deep inside a cold solve (no segment
+            // probe there), while whole-program entries stay in the
+            // segment for the lookup stage's probe tier to answer.
+            let seeded = sharing::seed_subprogram_pools(seg, compiler.cache());
+            shared_stats.seeded.store(seeded as u64, Ordering::Relaxed);
+        }
         let options_fp = compiler.options_fingerprint();
         let inner = Arc::new(Inner {
             compiler,
@@ -618,6 +745,8 @@ impl Service {
             in_system: AtomicU64::new(0),
             capacity: config.queue_capacity,
             inflight: Mutex::new(HashMap::new()),
+            shared,
+            shared_stats,
             counters: Counters::default(),
             stage: StageAtomics::default(),
             done_seq: AtomicU64::new(0),
@@ -839,6 +968,18 @@ impl Service {
             },
             cache: self.inner.compiler.cache_stats(),
             store: self.inner.store.as_ref().map(|s| s.stats()),
+            shared: self.inner.shared.as_ref().map(|seg| {
+                let sh = &self.inner.shared_stats;
+                SharedCounters {
+                    hits: sh.hits.load(Ordering::Relaxed),
+                    published: sh.published.load(Ordering::Relaxed),
+                    duplicates: sh.duplicates.load(Ordering::Relaxed),
+                    full_rejects: sh.full_rejects.load(Ordering::Relaxed),
+                    seeded: sh.seeded.load(Ordering::Relaxed),
+                    entries: seg.entries(),
+                    generation: seg.generation(),
+                }
+            }),
         }
     }
 
@@ -855,6 +996,7 @@ impl Service {
     ///
     /// Filesystem errors from the save.
     pub fn snapshot_now(&self) -> std::io::Result<SnapshotReport> {
+        self.inner.publish_shared(false);
         let Some(store) = &self.inner.store else {
             return Ok(SnapshotReport::NoStore);
         };

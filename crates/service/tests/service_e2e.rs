@@ -265,3 +265,66 @@ fn protocol_errors_are_responses_not_failures() {
     assert_eq!(lines[6].get("ok").and_then(Json::as_bool), Some(true));
     assert!(lines[6].get("fingerprint").is_some());
 }
+
+/// The cross-daemon shared-cache acceptance: instance A (no store, no
+/// peers) solves a workload and publishes into the shared segment;
+/// instance B — a *different* service on the same segment, still no
+/// store — answers the identical workload entirely from the segment:
+/// every response fingerprint matches, `shared.hits` covers every
+/// distinct program, and **zero** solve claims happen (no duplicate
+/// solves for keys a peer already solved).
+#[test]
+fn shared_segment_makes_a_second_service_warm_without_a_store() {
+    let shm = std::env::temp_dir().join(format!(
+        "reqisc-e2e-shm-{}-{}.seg",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0)
+    ));
+    let _ = std::fs::remove_file(&shm);
+    let compile_ids: Vec<u64> = (2..=9).collect();
+    let config = |cap: u64| ServiceConfig {
+        workers: 1,
+        shm_path: Some(shm.clone()),
+        shm_capacity_bytes: cap,
+        ..ServiceConfig::default()
+    };
+
+    let first = run_instance(config(4 << 20), &compile_script(false));
+    let stats1 = StatsSnapshot::from_json(first[&10].get("stats").expect("stats member"))
+        .expect("stats parse");
+    let sh1 = stats1.shared.expect("instance 1 attached the segment");
+    assert_eq!(sh1.hits, 0, "a cold segment answers nothing");
+    assert!(sh1.published >= 6, "every distinct solve publishes: {sh1:?}");
+    assert_eq!(sh1.full_rejects, 0);
+
+    let second = run_instance(config(4 << 20), &compile_script(false));
+    for &id in &compile_ids {
+        assert_eq!(fingerprint(&second[&id]), fingerprint(&first[&id]), "id {id} diverged");
+    }
+    let stats2 = StatsSnapshot::from_json(second[&10].get("stats").expect("stats member"))
+        .expect("stats parse");
+    let sh2 = stats2.shared.expect("instance 2 attached the segment");
+    assert_eq!(sh2.hits, 6, "every distinct program answered by the segment: {sh2:?}");
+    assert_eq!(
+        stats2.stages.solve_claimed, 0,
+        "a segment-warm workload must never duplicate a peer's solve"
+    );
+    // A duplicate may coalesce with its still-in-flight original instead
+    // of being routed itself; either way no compile goes cold.
+    assert_eq!(
+        stats2.stages.lookup_hits + stats2.service.coalesced,
+        8,
+        "all 8 compiles short-circuit warm or join a warm in-flight job"
+    );
+    assert!(
+        sh2.hits <= stats2.stages.lookup_hits,
+        "shared hits are a subset of lookup hits"
+    );
+    // Coalesced duplicates share their original's single completion.
+    assert_eq!(stats2.service.completed + stats2.service.coalesced, 8);
+    assert_eq!(stats2.service.failed, 0);
+    let _ = std::fs::remove_file(&shm);
+}

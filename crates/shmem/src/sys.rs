@@ -1,0 +1,108 @@
+//! Thin `mmap`/`flock` bindings against the system libc.
+//!
+//! The build environment has no crates.io access, so the `libc` crate
+//! is unavailable; `std` already links the platform libc, and these
+//! two calls are all the crate needs, so we declare the prototypes
+//! directly. Unix-only — the crate refuses to build elsewhere.
+
+#![cfg(unix)]
+
+use std::fs::File;
+use std::io;
+use std::os::raw::{c_int, c_void};
+use std::os::unix::io::AsRawFd;
+
+const PROT_READ: c_int = 1;
+const PROT_WRITE: c_int = 2;
+const MAP_SHARED: c_int = 1;
+
+const LOCK_SH: c_int = 1;
+const LOCK_EX: c_int = 2;
+const LOCK_NB: c_int = 4;
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    fn flock(fd: c_int, operation: c_int) -> c_int;
+}
+
+/// A shared, writable mapping of the whole segment file.
+#[derive(Debug)]
+pub struct Mmap {
+    base: *mut u8,
+    len: usize,
+}
+
+impl Mmap {
+    /// Maps `len` bytes of `file` shared + read/write.
+    pub fn map(file: &File, len: usize) -> io::Result<Mmap> {
+        assert!(len > 0, "cannot map an empty segment");
+        // SAFETY: a fresh anonymous-address shared file mapping; the fd
+        // is valid for the duration of the call and `len` is nonzero.
+        let base = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if base as isize == -1 || base.is_null() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { base: base as *mut u8, len })
+    }
+
+    /// Base address of the mapping.
+    pub fn base(&self) -> *mut u8 {
+        self.base
+    }
+
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // SAFETY: `base`/`len` came from a successful mmap and are
+        // unmapped exactly once.
+        unsafe {
+            munmap(self.base as *mut c_void, self.len);
+        }
+    }
+}
+
+/// Tries to take the exclusive (initializer/recovery) lock without
+/// blocking. Returns `false` when another process already holds a lock.
+pub fn flock_try_exclusive(file: &File) -> io::Result<bool> {
+    // SAFETY: plain syscall on a valid fd.
+    let rc = unsafe { flock(file.as_raw_fd(), LOCK_EX | LOCK_NB) };
+    if rc == 0 {
+        return Ok(true);
+    }
+    let err = io::Error::last_os_error();
+    if err.kind() == io::ErrorKind::WouldBlock {
+        return Ok(false);
+    }
+    Err(err)
+}
+
+/// Takes (or downgrades to) the shared attach lock, blocking until the
+/// initializer finishes. Every attached process holds this for its
+/// lifetime; the kernel releases it if the process dies.
+pub fn flock_shared(file: &File) -> io::Result<()> {
+    // SAFETY: plain syscall on a valid fd.
+    let rc = unsafe { flock(file.as_raw_fd(), LOCK_SH) };
+    if rc == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
