@@ -299,6 +299,6 @@ mod tests {
             emit_pauli_rotation(&mut lin, r);
         }
         let inf = reqisc_qsim::process_infidelity(&lin.unitary(), &c.unitary());
-        assert!(inf < 1e-10, "unsafe reorder: {inf}");
+        assert!(inf < 1e-10, "non-commuting reorder changed the unitary: {inf}");
     }
 }

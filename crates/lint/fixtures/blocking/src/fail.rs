@@ -1,0 +1,28 @@
+//! Blocking work under the inflight lock: one case per category.
+use std::sync::{Condvar, Mutex};
+
+fn fetch_config() -> std::io::Result<Vec<u8>> {
+    std::fs::read("config.bin")
+}
+
+pub fn direct_io(m: &Mutex<u32>) {
+    let _g = m.lock().unwrap();
+    let _ = std::fs::read("state.bin");
+}
+
+pub fn via_helper(m: &Mutex<u32>) {
+    let _g = m.lock().unwrap();
+    let _ = fetch_config();
+}
+
+pub fn wrong_condvar(m: &Mutex<u32>, qcv: &Condvar) {
+    let g = m.lock().unwrap();
+    let _g = qcv.wait(g).unwrap();
+}
+
+pub fn solver_under_lock(m: &Mutex<u32>) {
+    let _g = m.lock().unwrap();
+    solve_all();
+}
+
+fn solve_all() {}

@@ -1,0 +1,23 @@
+//! The same shapes, held correctly: no findings.
+use std::sync::{Condvar, Mutex};
+
+pub fn io_after_release(m: &Mutex<u32>) {
+    let g = m.lock().unwrap();
+    drop(g);
+    let _ = std::fs::read("state.bin");
+}
+
+pub fn own_condvar(m: &Mutex<u32>, icv: &Condvar) {
+    let g = m.lock().unwrap();
+    let _g = icv.wait(g).unwrap();
+}
+
+pub fn not_a_lock(other: &Mutex<u32>) {
+    let _g = other.lock().unwrap();
+    let _ = std::fs::read("state.bin");
+}
+
+pub fn ordinary_lock(q: &Mutex<u32>) {
+    let _g = q.lock().unwrap();
+    let _ = std::fs::read("state.bin");
+}

@@ -1,0 +1,26 @@
+//! Broken publish/probe paths: every per-event deny the rule can emit.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// lint:protocol-begin(publish)
+pub fn publish_broken(buf: &mut [u8], commit: &AtomicU64, index: &AtomicU64) {
+    let _ = index.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed);
+    commit.store(1, Ordering::Release);
+    write_bytes_in(buf, 0);
+    commit.store(2, Ordering::Relaxed);
+}
+// lint:protocol-end(publish)
+
+// lint:protocol-begin(probe)
+pub fn probe_broken(buf: &[u8], commit: &AtomicU64) -> u8 {
+    let early = copy_out(buf, 0);
+    if commit.load(Ordering::Relaxed) == 0 {
+        return early;
+    }
+    copy_out(buf, 1)
+}
+// lint:protocol-end(probe)
+
+fn write_bytes_in(_buf: &mut [u8], _at: usize) {}
+fn copy_out(_buf: &[u8], _at: usize) -> u8 {
+    0
+}

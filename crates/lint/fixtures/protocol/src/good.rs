@@ -1,0 +1,25 @@
+//! A correct publish/probe pair (the shmem segment's shape in miniature).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn write_bytes_in(_buf: &mut [u8], _at: usize) {}
+pub fn copy_out(_buf: &[u8], _at: usize) -> u8 {
+    0
+}
+
+// lint:protocol-begin(publish)
+pub fn publish(buf: &mut [u8], commit: &AtomicU64, index: &AtomicU64) {
+    write_bytes_in(buf, 0);
+    commit.store(1, Ordering::Release);
+    let _ = index.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire);
+}
+// lint:protocol-end(publish)
+
+// lint:protocol-begin(probe)
+pub fn probe(buf: &[u8], commit: &AtomicU64, index: &AtomicU64) -> u8 {
+    let _slot = index.load(Ordering::Acquire);
+    if commit.load(Ordering::Acquire) == 0 {
+        return 0;
+    }
+    copy_out(buf, 0)
+}
+// lint:protocol-end(probe)

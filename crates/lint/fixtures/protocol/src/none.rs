@@ -1,0 +1,3 @@
+//! Declared a protocol-file but the region markers were deleted: both
+//! kinds are reported missing (the rule cannot be disabled by accident).
+pub fn nothing() {}

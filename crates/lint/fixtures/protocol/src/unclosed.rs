@@ -1,0 +1,6 @@
+// lint:protocol-begin(publish)
+pub fn forgot() {}
+
+// lint:protocol-begin(gc)
+pub fn wrong_kind() {}
+// lint:protocol-end(gc)

@@ -1,0 +1,4 @@
+pub fn sneaky(p: *const u8) -> u8 {
+    // SAFETY: irrelevant — this file is outside every unsafe-scope.
+    unsafe { *p }
+}

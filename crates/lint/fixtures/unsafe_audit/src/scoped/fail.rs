@@ -1,0 +1,9 @@
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+// SAFETY: a justification with code between it and the site is detached.
+pub fn detached(p: *const u8) -> u8 {
+    let q = p;
+    unsafe { *q }
+}

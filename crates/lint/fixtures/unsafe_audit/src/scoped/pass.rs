@@ -1,0 +1,10 @@
+pub fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for reads (fixture).
+    unsafe { *p }
+}
+
+pub fn read_justified_far(p: *const u8) -> u8 {
+    // SAFETY: a two-line justification still attaches — only comment
+    // lines sit between it and the unsafe block below.
+    unsafe { *p }
+}

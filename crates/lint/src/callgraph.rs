@@ -1,0 +1,189 @@
+//! The approximate workspace call graph shared by the interprocedural
+//! rules (lock-order, panic-path, blocking-in-critical-section).
+//!
+//! Resolution is name-based: a call site resolves when its callee name
+//! matches function definitions in the indexed file set. Two policies sit
+//! on top of the index:
+//!
+//! * [`CallGraph::resolve_unique`] — exactly one definition and not on
+//!   the config's `call-ignore` blocklist (std-collection method names
+//!   that would otherwise collide with workspace functions). Used where
+//!   a false edge would produce a false *positive* (lock-order,
+//!   blocking-in-critical-section).
+//! * [`CallGraph::reachable_from`] — every definition of a name is an
+//!   edge target. Used where a missed edge would produce a false
+//!   *negative* (panic-path's conservative closure).
+//!
+//! [`CallGraph::propagate`] runs the bottom-up fixpoint both lock-order
+//! and blocking-in-critical-section need: per-function seed sets are
+//! unioned into every (uniquely-resolved) caller until nothing changes —
+//! the dataflow that lets a rule see what a function *transitively* does
+//! (locks it acquires, I/O it reaches) from any call site.
+
+use crate::config::Config;
+use crate::Workspace;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// A function identity: (file index, fn index within the file).
+pub type FnId = (usize, usize);
+
+/// Name → definitions index over (a subset of) the scanned workspace.
+pub struct CallGraph {
+    defs: HashMap<String, Vec<FnId>>,
+}
+
+impl CallGraph {
+    /// Indexes every function definition in the workspace.
+    pub fn build(ws: &Workspace) -> CallGraph {
+        CallGraph::build_filtered(ws, |_| true)
+    }
+
+    /// Indexes only the files `keep` accepts (by file index) — the
+    /// panic-path rule restricts edges to its scope directories so the
+    /// closure cannot leak out of the subsystem.
+    pub fn build_filtered(ws: &Workspace, keep: impl Fn(usize) -> bool) -> CallGraph {
+        let mut defs: HashMap<String, Vec<FnId>> = HashMap::new();
+        for (fi, f) in ws.files.iter().enumerate() {
+            if !keep(fi) {
+                continue;
+            }
+            for (fj, func) in f.fns.iter().enumerate() {
+                defs.entry(func.name.clone()).or_default().push((fi, fj));
+            }
+        }
+        CallGraph { defs }
+    }
+
+    /// All definitions of `name`.
+    pub fn defs(&self, name: &str) -> &[FnId] {
+        self.defs.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Resolves `name` when it has exactly one definition and is not on
+    /// the `call-ignore` blocklist.
+    pub fn resolve_unique(&self, cfg: &Config, name: &str) -> Option<FnId> {
+        if cfg.call_ignore.contains(name) {
+            return None;
+        }
+        match self.defs.get(name).map(Vec::as_slice) {
+            Some([one]) => Some(*one),
+            _ => None,
+        }
+    }
+
+    /// Conservative reachability closure from every indexed function
+    /// whose name is in `entries`: follows **all** definitions of every
+    /// called name.
+    pub fn reachable_from(&self, ws: &Workspace, entries: &HashSet<String>) -> HashSet<FnId> {
+        let mut reachable: HashSet<FnId> = HashSet::new();
+        let mut stack: Vec<FnId> = Vec::new();
+        for targets in self.defs.values() {
+            for &(fi, fj) in targets {
+                if entries.contains(&ws.files[fi].fns[fj].name) {
+                    stack.push((fi, fj));
+                }
+            }
+        }
+        while let Some(node) = stack.pop() {
+            if !reachable.insert(node) {
+                continue;
+            }
+            let (fi, fj) = node;
+            for (cj, call) in &ws.files[fi].calls {
+                if *cj != fj {
+                    continue;
+                }
+                stack.extend(self.defs(&call.name));
+            }
+        }
+        reachable
+    }
+
+    /// Bottom-up fixpoint: unions each uniquely-resolved callee's set
+    /// into its caller until stable. `seeds` holds each function's
+    /// direct facts; the result adds everything transitively reachable.
+    pub fn propagate<K: Ord + Clone>(
+        &self,
+        ws: &Workspace,
+        cfg: &Config,
+        seeds: BTreeMap<FnId, BTreeSet<K>>,
+    ) -> BTreeMap<FnId, BTreeSet<K>> {
+        let mut sets = seeds;
+        loop {
+            let mut changed = false;
+            for (fi, f) in ws.files.iter().enumerate() {
+                for (fj, call) in &f.calls {
+                    let Some(callee) = self.resolve_unique(cfg, &call.name) else { continue };
+                    let Some(inner) = sets.get(&callee).cloned() else { continue };
+                    let entry = sets.entry((fi, *fj)).or_default();
+                    for k in inner {
+                        changed |= entry.insert(k);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::SourceFile;
+    use std::path::PathBuf;
+
+    fn ws(srcs: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            root: PathBuf::from("/nonexistent"),
+            files: srcs
+                .iter()
+                .map(|(rel, src)| SourceFile::extract(rel.to_string(), src))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn unique_resolution_and_ignore_list() {
+        let w = ws(&[
+            ("a.rs", "fn top() { helper(); get(); }\nfn helper() {}\n"),
+            ("b.rs", "fn get() {}\nfn helper2() {}\nfn get2() {}\nfn get2() {}\n"),
+        ]);
+        let cfg = Config::parse("call-ignore get\n").unwrap();
+        let cg = CallGraph::build(&w);
+        assert_eq!(cg.resolve_unique(&cfg, "helper"), Some((0, 1)));
+        assert_eq!(cg.resolve_unique(&cfg, "get"), None, "ignored name");
+        assert_eq!(cg.resolve_unique(&cfg, "get2"), None, "ambiguous name");
+    }
+
+    #[test]
+    fn propagate_reaches_through_chains() {
+        let w = ws(&[(
+            "a.rs",
+            "fn top() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\n",
+        )]);
+        let cfg = Config::parse("").unwrap();
+        let cg = CallGraph::build(&w);
+        let mut seeds: BTreeMap<FnId, BTreeSet<&str>> = BTreeMap::new();
+        seeds.insert((0, 2), ["fact"].into_iter().collect());
+        let sets = cg.propagate(&w, &cfg, seeds);
+        assert!(sets[&(0, 0)].contains("fact"), "fact must flow leaf → mid → top");
+        assert!(sets[&(0, 1)].contains("fact"));
+    }
+
+    #[test]
+    fn reachability_follows_every_definition() {
+        let w = ws(&[
+            ("a.rs", "fn entry() { dual(); }\nfn dual() { a_only(); }\nfn a_only() {}\n"),
+            ("b.rs", "fn dual() { b_only(); }\nfn b_only() {}\nfn island() {}\n"),
+        ]);
+        let cg = CallGraph::build(&w);
+        let entries: HashSet<String> = ["entry".to_string()].into_iter().collect();
+        let r = cg.reachable_from(&w, &entries);
+        assert!(r.contains(&(0, 2)), "a_only via a.rs dual");
+        assert!(r.contains(&(1, 1)), "b_only via b.rs dual (conservative)");
+        assert!(!r.contains(&(1, 2)), "island untouched");
+    }
+}

@@ -40,6 +40,26 @@ pub struct Config {
     pub env_registry: Option<String>,
     /// Directory prefixes in scope for the sync-shim rule.
     pub sync_shim_scopes: Vec<String>,
+    /// Directory prefixes where `unsafe` is permitted (unsafe-audit).
+    pub unsafe_scopes: Vec<String>,
+    /// Files that must carry `lint:protocol-begin/end(publish|probe)`
+    /// regions (publish-protocol).
+    pub protocol_files: Vec<String>,
+    /// Call names that write entry bytes into the mapping without
+    /// ordering (publish-protocol).
+    pub protocol_plain_writes: HashSet<String>,
+    /// Call names that read entry bytes out of the mapping without
+    /// ordering (publish-protocol).
+    pub protocol_plain_reads: HashSet<String>,
+    /// Lock classes under which blocking operations are denied
+    /// (blocking-in-critical-section).
+    pub non_blocking_locks: HashSet<String>,
+    /// Condvar receiver name → the lock class its guard belongs to
+    /// (blocking-in-critical-section).
+    pub condvar_classes: HashMap<String, String>,
+    /// Function names that are blocking entry points (solvers, store
+    /// snapshots) wherever they are called (blocking-in-critical-section).
+    pub blocking_calls: HashSet<String>,
 }
 
 impl Config {
@@ -131,6 +151,35 @@ impl Config {
                     want(1)?;
                     c.sync_shim_scopes.push(args[0].to_string());
                 }
+                "unsafe-scope" => {
+                    want(1)?;
+                    c.unsafe_scopes.push(args[0].to_string());
+                }
+                "protocol-file" => {
+                    want(1)?;
+                    c.protocol_files.push(args[0].to_string());
+                }
+                "protocol-plain-write" | "protocol-plain-read" | "non-blocking-lock"
+                | "blocking-call" => {
+                    if args.is_empty() {
+                        return Err(format!(
+                            "lint.conf:{}: `{}` needs at least one name",
+                            lineno + 1,
+                            directive
+                        ));
+                    }
+                    let set = match directive {
+                        "protocol-plain-write" => &mut c.protocol_plain_writes,
+                        "protocol-plain-read" => &mut c.protocol_plain_reads,
+                        "non-blocking-lock" => &mut c.non_blocking_locks,
+                        _ => &mut c.blocking_calls,
+                    };
+                    set.extend(args.iter().map(|s| s.to_string()));
+                }
+                "condvar-class" => {
+                    want(2)?;
+                    c.condvar_classes.insert(args[0].to_string(), args[1].to_string());
+                }
                 other => {
                     return Err(format!("lint.conf:{}: unknown directive `{}`", lineno + 1, other));
                 }
@@ -192,6 +241,23 @@ impl Config {
     pub fn in_sync_shim_scope(&self, rel: &str) -> bool {
         self.sync_shim_scopes.iter().any(|d| rel == d || rel.starts_with(&format!("{d}/")))
     }
+
+    /// True when a workspace-relative path may contain `unsafe`.
+    pub fn in_unsafe_scope(&self, rel: &str) -> bool {
+        self.unsafe_scopes.iter().any(|d| rel == d || rel.starts_with(&format!("{d}/")))
+    }
+
+    /// Maps a condvar receiver name to the lock class its guard belongs
+    /// to: `Some(class)`, or `None` when unmapped (the
+    /// blocking-in-critical-section rule treats an unmapped condvar as
+    /// blocking under every non-blocking class).
+    pub fn condvar_class_of(&self, receiver: &str) -> Option<String> {
+        match self.condvar_classes.get(receiver) {
+            Some(c) if c == "-" => None,
+            Some(c) => Some(c.clone()),
+            None => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -216,7 +282,14 @@ mod tests {
              panic-scope crates/service/src\n\
              panic-entry serve_lines handle_line\n\
              env-registry crates/envreg/src/lib.rs\n\
-             sync-shim-scope crates/service/src\n",
+             sync-shim-scope crates/service/src\n\
+             unsafe-scope crates/shmem\n\
+             protocol-file crates/shmem/src/lib.rs\n\
+             protocol-plain-write write_bytes_in\n\
+             protocol-plain-read copy_out read_bytes_in\n\
+             non-blocking-lock inflight completion_ring\n\
+             condvar-class available queue\n\
+             blocking-call solve_ea solve_pulse\n",
         )
         .unwrap();
         assert!(c.is_skipped("crates/vendor/rand/src/lib.rs"));
@@ -234,6 +307,15 @@ mod tests {
         assert_eq!(c.env_registry.as_deref(), Some("crates/envreg/src/lib.rs"));
         assert!(c.in_sync_shim_scope("crates/service/src/queue.rs"));
         assert!(!c.in_sync_shim_scope("crates/sched/src/shim.rs"));
+        assert!(c.in_unsafe_scope("crates/shmem/src/sys.rs"));
+        assert!(!c.in_unsafe_scope("crates/shmem2/src/lib.rs"));
+        assert_eq!(c.protocol_files, vec!["crates/shmem/src/lib.rs".to_string()]);
+        assert!(c.protocol_plain_writes.contains("write_bytes_in"));
+        assert!(c.protocol_plain_reads.contains("read_bytes_in"));
+        assert!(c.non_blocking_locks.contains("completion_ring"));
+        assert_eq!(c.condvar_class_of("available").as_deref(), Some("queue"));
+        assert_eq!(c.condvar_class_of("mystery"), None);
+        assert!(c.blocking_calls.contains("solve_pulse"));
     }
 
     #[test]

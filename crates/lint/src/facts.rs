@@ -3,8 +3,10 @@
 //! pre-digested facts — function spans and call sites, lock-acquisition
 //! events with approximate guard scopes, atomic-ordering sites, panic
 //! sites (`unwrap`/`expect`/indexing), comparison-adjacent float
-//! literals, `REQISC_*` string literals — and the comment-borne
-//! annotations (`lint:allow`, `lint:allow-file`, store-surface markers).
+//! literals, `REQISC_*` string literals, `unsafe` sites, condvar waits,
+//! and built-in blocking-I/O sites — and the comment-borne annotations
+//! (`lint:allow`, `lint:allow-file`, store-surface markers, `// SAFETY:`
+//! justifications, and `lint:protocol-begin/end` regions).
 
 use crate::lexer::{lex, Comment, TokKind, Token};
 use std::collections::HashMap;
@@ -87,6 +89,59 @@ pub struct AtomicSite {
     pub orderings: Vec<String>,
     /// Line.
     pub line: u32,
+    /// Token index of the method name (orders sites within a file).
+    pub pos: usize,
+}
+
+/// What the `unsafe` keyword introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// `unsafe { … }` block.
+    Block,
+    /// `unsafe impl …`.
+    Impl,
+    /// `unsafe fn …`.
+    Fn,
+    /// `unsafe extern …`.
+    Extern,
+    /// Anything else (trait bounds, pointers-to-unsafe-fn, …).
+    Other,
+}
+
+/// One `unsafe` keyword site.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// Kind.
+    pub kind: UnsafeKind,
+    /// Line of the `unsafe` keyword.
+    pub line: u32,
+}
+
+/// One condvar-wait site inside a function: `.wait()`/`.wait_while(…)`/
+/// `.wait_timeout(…)` method calls, plus the sched shim's free-function
+/// `wait_recover(cv, guard)` / `wait_timeout_recover(cv, guard, dur)`
+/// forms (the condvar is the first argument there).
+#[derive(Debug, Clone)]
+pub struct WaitEvent {
+    /// Condvar receiver/argument name as written.
+    pub condvar: String,
+    /// Line.
+    pub line: u32,
+    /// Token index of the wait method/function name.
+    pub pos: usize,
+}
+
+/// One built-in blocking-I/O site: a `std::fs`/`std::net`/
+/// `std::os::unix::net` path, or a `File::open(…)`-style call on a known
+/// I/O type.
+#[derive(Debug, Clone)]
+pub struct BlockIoEvent {
+    /// What was matched (`std::fs`, `File::open`, …), for diagnostics.
+    pub what: String,
+    /// Line.
+    pub line: u32,
+    /// Token index.
+    pub pos: usize,
 }
 
 /// Kind of panic site.
@@ -151,6 +206,12 @@ pub struct SourceFile {
     pub calls: Vec<(usize, CallEvent)>,
     /// Atomic sites.
     pub atomics: Vec<AtomicSite>,
+    /// `unsafe` sites.
+    pub unsafes: Vec<UnsafeSite>,
+    /// Condvar-wait events per function index.
+    pub waits: Vec<(usize, WaitEvent)>,
+    /// Built-in blocking-I/O events per function index.
+    pub blocking_ops: Vec<(usize, BlockIoEvent)>,
     /// Panic sites.
     pub panics: Vec<PanicSite>,
     /// Tolerance-literal sites.
@@ -164,6 +225,13 @@ pub struct SourceFile {
     pub file_allows: Vec<(String, String)>,
     /// `lint:store-surface-begin/end` line ranges (inclusive).
     pub surface_regions: Vec<(u32, u32)>,
+    /// `lint:protocol-begin(kind)/end(kind)` regions as
+    /// `(kind, begin-line, end-line)`. An unmatched begin records
+    /// `u32::MAX` as its end so the rule can flag it instead of the
+    /// region silently vanishing.
+    pub protocol_regions: Vec<(String, u32, u32)>,
+    /// Lines of comments carrying a `SAFETY:` justification.
+    pub safety_lines: Vec<u32>,
     /// Line ranges (inclusive) covered by `#[cfg(test)]` items.
     pub test_regions: Vec<(u32, u32)>,
 }
@@ -173,7 +241,7 @@ impl SourceFile {
     pub fn extract(rel: String, src: &str) -> SourceFile {
         let kind = classify(&rel);
         let lexed = lex(src);
-        let (allows, file_allows, surface_regions) = scan_comments(&lexed.comments);
+        let scan = scan_comments(&lexed.comments);
         let tokens = lexed.tokens;
         let fns = extract_fns(&tokens);
         let test_regions = extract_test_regions(&tokens);
@@ -184,12 +252,17 @@ impl SourceFile {
             locks: Vec::new(),
             calls: Vec::new(),
             atomics: Vec::new(),
+            unsafes: Vec::new(),
+            waits: Vec::new(),
+            blocking_ops: Vec::new(),
             panics: Vec::new(),
             tols: Vec::new(),
             env_lits: Vec::new(),
-            allows,
-            file_allows,
-            surface_regions,
+            allows: scan.allows,
+            file_allows: scan.file_allows,
+            surface_regions: scan.surface_regions,
+            protocol_regions: scan.protocol_regions,
+            safety_lines: scan.safety_lines,
             test_regions,
             tokens,
         };
@@ -200,6 +273,26 @@ impl SourceFile {
     /// True when `line` falls inside a `#[cfg(test)]` region.
     pub fn is_test_line(&self, line: u32) -> bool {
         self.test_regions.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// True when a `lint:allow(rule, …)` covers `line` — on the line
+    /// itself or the line above (comment-above style) — or a file-level
+    /// `lint:allow-file` names the rule. Interprocedural rules also use
+    /// this at *fact* sites: an allow on a blocking operation clears it
+    /// from every transitive summary, not just from diagnostics reported
+    /// at that line.
+    pub fn allows_rule_at(&self, rule: &str, line: u32) -> bool {
+        if self.file_allows.iter().any(|(r, _)| r == rule) {
+            return true;
+        }
+        for probe in [line, line.saturating_sub(1)] {
+            if let Some(list) = self.allows.get(&probe) {
+                if list.iter().any(|(r, _)| r == rule) {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// The function index containing token position `pos` (functions are
@@ -231,16 +324,26 @@ fn classify(rel: &str) -> FileKind {
     }
 }
 
-type CommentScan =
-    (HashMap<u32, Vec<(String, String)>>, Vec<(String, String)>, Vec<(u32, u32)>);
+/// Everything the comment stream yields.
+struct CommentScan {
+    allows: HashMap<u32, Vec<(String, String)>>,
+    file_allows: Vec<(String, String)>,
+    surface_regions: Vec<(u32, u32)>,
+    protocol_regions: Vec<(String, u32, u32)>,
+    safety_lines: Vec<u32>,
+}
 
 /// Parses `lint:allow(rule, reason)`, `lint:allow-file(rule, reason)`,
-/// and `lint:store-surface-begin/end` out of the comment stream.
+/// `lint:store-surface-begin/end`, `lint:protocol-begin(kind)/end(kind)`,
+/// and `SAFETY:` justifications out of the comment stream.
 fn scan_comments(comments: &[Comment]) -> CommentScan {
     let mut allows: HashMap<u32, Vec<(String, String)>> = HashMap::new();
     let mut file_allows = Vec::new();
     let mut regions = Vec::new();
+    let mut protocol_regions = Vec::new();
+    let mut safety_lines = Vec::new();
     let mut open: Option<u32> = None;
+    let mut open_protocol: HashMap<String, u32> = HashMap::new();
     for c in comments {
         let t = c.text.trim();
         if let Some(rest) = t.strip_prefix("lint:allow-file(") {
@@ -251,6 +354,17 @@ fn scan_comments(comments: &[Comment]) -> CommentScan {
             if let Some((rule, reason)) = split_allow(rest) {
                 allows.entry(c.line).or_default().push((rule, reason));
             }
+        } else if let Some(rest) = t.strip_prefix("lint:protocol-begin(") {
+            let kind = rest.trim_end_matches(')').trim().to_string();
+            // A second begin of the same kind leaves the first unmatched.
+            if let Some(prev) = open_protocol.insert(kind.clone(), c.line) {
+                protocol_regions.push((kind, prev, u32::MAX));
+            }
+        } else if let Some(rest) = t.strip_prefix("lint:protocol-end(") {
+            let kind = rest.trim_end_matches(')').trim();
+            if let Some(a) = open_protocol.remove(kind) {
+                protocol_regions.push((kind.to_string(), a, c.line));
+            }
         } else if t.starts_with("lint:store-surface-begin") {
             open = Some(c.line);
         } else if t.starts_with("lint:store-surface-end") {
@@ -258,8 +372,21 @@ fn scan_comments(comments: &[Comment]) -> CommentScan {
                 regions.push((a, c.line));
             }
         }
+        if t.contains("SAFETY:") {
+            safety_lines.push(c.line);
+        }
     }
-    (allows, file_allows, regions)
+    for (kind, a) in open_protocol {
+        protocol_regions.push((kind, a, u32::MAX));
+    }
+    protocol_regions.sort();
+    CommentScan {
+        allows,
+        file_allows,
+        surface_regions: regions,
+        protocol_regions,
+        safety_lines,
+    }
 }
 
 fn split_allow(rest: &str) -> Option<(String, String)> {
@@ -386,13 +513,22 @@ const KEYWORDS: &[&str] = &[
     "trait", "type", "const", "static", "break", "continue", "crate", "self", "Self", "super",
 ];
 
-/// One pass over the token stream filling locks/calls/atomics/panics/
-/// tolerances/env-literals.
+/// Known I/O types: a `Type::method(` call on one of these is a
+/// blocking-I/O event even when the type was `use`-imported (no `std::`
+/// path at the call site).
+const IO_TYPES: &[&str] =
+    &["File", "OpenOptions", "TcpStream", "TcpListener", "UnixStream", "UnixListener"];
+
+/// One pass over the token stream filling locks/calls/atomics/unsafes/
+/// waits/blocking-I/O/panics/tolerances/env-literals.
 fn extract_events(f: &mut SourceFile) {
     let toks = &f.tokens;
     let mut locks = Vec::new();
     let mut calls = Vec::new();
     let mut atomics = Vec::new();
+    let mut unsafes = Vec::new();
+    let mut waits = Vec::new();
+    let mut blocking_ops = Vec::new();
     let mut panics = Vec::new();
     let mut tols = Vec::new();
     let mut env_lits = Vec::new();
@@ -453,7 +589,84 @@ fn extract_events(f: &mut SourceFile) {
                             method: t.text.clone(),
                             orderings: ords,
                             line: t.line,
+                            pos: i,
                         });
+                    }
+                }
+                // `unsafe` sites, classified by the following token.
+                if t.text == "unsafe" {
+                    let kind = match toks.get(i + 1).map(|n| n.text.as_str()) {
+                        Some("{") => UnsafeKind::Block,
+                        Some("impl") => UnsafeKind::Impl,
+                        Some("fn") => UnsafeKind::Fn,
+                        Some("extern") => UnsafeKind::Extern,
+                        _ => UnsafeKind::Other,
+                    };
+                    unsafes.push(UnsafeSite { kind, line: t.line });
+                }
+                // Condvar waits: method form on the condvar…
+                if is_method
+                    && is_call
+                    && matches!(t.text.as_str(), "wait" | "wait_while" | "wait_timeout")
+                {
+                    if let Some(fi) = f.fn_at(i) {
+                        waits.push((
+                            fi,
+                            WaitEvent {
+                                condvar: receiver_name(toks, i - 1),
+                                line: t.line,
+                                pos: i,
+                            },
+                        ));
+                    }
+                }
+                // …and the sched shim's free-function form (condvar is
+                // the first argument).
+                if is_call
+                    && !is_method
+                    && matches!(t.text.as_str(), "wait_recover" | "wait_timeout_recover")
+                {
+                    if let Some(fi) = f.fn_at(i) {
+                        waits.push((
+                            fi,
+                            WaitEvent {
+                                condvar: first_arg_ident(toks, i + 1),
+                                line: t.line,
+                                pos: i,
+                            },
+                        ));
+                    }
+                }
+                // Blocking I/O: `std::fs` / `std::net` / `std::os::unix::net`
+                // paths, and `File::open(…)`-style calls on known I/O types.
+                let path_head = i == 0 || toks[i - 1].text != "::";
+                let then_colons = toks.get(i + 1).map(|n| n.text == "::").unwrap_or(false);
+                if t.text == "std" && path_head && then_colons {
+                    let what = match toks.get(i + 2).map(|n| n.text.as_str()) {
+                        Some("fs") => Some("std::fs"),
+                        Some("net") => Some("std::net"),
+                        Some("os")
+                            if toks.get(i + 4).map(|n| n.text == "unix").unwrap_or(false)
+                                && toks.get(i + 6).map(|n| n.text == "net").unwrap_or(false) =>
+                        {
+                            Some("std::os::unix::net")
+                        }
+                        _ => None,
+                    };
+                    if let (Some(w), Some(fi)) = (what, f.fn_at(i)) {
+                        blocking_ops
+                            .push((fi, BlockIoEvent { what: w.into(), line: t.line, pos: i }));
+                    }
+                }
+                if IO_TYPES.contains(&t.text.as_str())
+                    && path_head
+                    && then_colons
+                    && toks.get(i + 2).map(|n| n.kind == TokKind::Ident).unwrap_or(false)
+                    && toks.get(i + 3).map(|n| n.text == "(").unwrap_or(false)
+                {
+                    if let Some(fi) = f.fn_at(i) {
+                        let what = format!("{}::{}", t.text, toks[i + 2].text);
+                        blocking_ops.push((fi, BlockIoEvent { what, line: t.line, pos: i }));
                     }
                 }
                 // Panic sites.
@@ -504,9 +717,38 @@ fn extract_events(f: &mut SourceFile) {
     f.locks = locks;
     f.calls = calls;
     f.atomics = atomics;
+    f.unsafes = unsafes;
+    f.waits = waits;
+    f.blocking_ops = blocking_ops;
     f.panics = panics;
     f.tols = tols;
     f.env_lits = env_lits;
+}
+
+/// Last identifier of a call's first argument, skipping `self`/`mut` and
+/// reference/deref sigils: `(&self.available, st)` → `available`,
+/// `(&*cv, guard)` → `cv`. `open` is the index of the call's `(`.
+fn first_arg_ident(toks: &[Token], open: usize) -> String {
+    let mut depth = 0i32;
+    let mut last = String::new();
+    for t in toks.iter().skip(open) {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "," if depth == 1 => break,
+            _ => {
+                if t.kind == TokKind::Ident && t.text != "self" && t.text != "mut" {
+                    last = t.text.clone();
+                }
+            }
+        }
+    }
+    last
 }
 
 /// Given the index of a `(`-opening token's predecessor… actually: given
@@ -844,6 +1086,66 @@ mod tests {
         );
         assert_eq!(f.env_lits.len(), 1);
         assert_eq!(f.env_lits[0].text, "REQISC_CACHE_DIR");
+    }
+
+    #[test]
+    fn unsafe_sites_and_safety_comments() {
+        let f = file(
+            "// SAFETY: the mmap outlives the slice.\n\
+             unsafe impl Send for X {}\n\
+             fn a(p: *const u8) { let v = unsafe { *p }; }\n\
+             unsafe fn raw() {}\n\
+             fn msg() { assert!(true, \"unsafe reorder\"); }\n",
+        );
+        let kinds: Vec<(UnsafeKind, u32)> = f.unsafes.iter().map(|u| (u.kind, u.line)).collect();
+        assert_eq!(
+            kinds,
+            vec![(UnsafeKind::Impl, 2), (UnsafeKind::Block, 3), (UnsafeKind::Fn, 4)],
+            "the word `unsafe` inside a string literal is not a site"
+        );
+        assert_eq!(f.safety_lines, vec![1]);
+    }
+
+    #[test]
+    fn wait_events_method_and_free_forms() {
+        let f = file(
+            "fn a(&self) {\n let mut st = self.state.lock_recover();\n \
+             st = crate::sync::wait_recover(&self.available, st);\n \
+             let g = cv.wait(g).unwrap();\n \
+             let (s, t) = crate::sync::wait_timeout_recover(&*cv2, s, dur);\n}\n",
+        );
+        let names: Vec<&str> = f.waits.iter().map(|(_, w)| w.condvar.as_str()).collect();
+        assert_eq!(names, vec!["available", "cv", "cv2"]);
+        assert_eq!(f.waits[0].1.line, 3);
+    }
+
+    #[test]
+    fn blocking_io_events() {
+        let f = file(
+            "use std::fs::File;\n\
+             fn a() { let _ = std::fs::read_to_string(\"x\"); }\n\
+             fn b() { let _ = File::open(\"x\"); }\n\
+             fn c() { let _ = std::net::TcpStream::connect(\"y\"); }\n\
+             fn d() { let _ = std::os::unix::net::UnixStream::connect(\"z\"); }\n\
+             fn e(fs: u32) { let x = fs + 1; }\n",
+        );
+        let whats: Vec<&str> = f.blocking_ops.iter().map(|(_, b)| b.what.as_str()).collect();
+        assert_eq!(whats, vec!["std::fs", "File::open", "std::net", "std::os::unix::net"]);
+        // The `use` line sits outside any fn and records nothing.
+        assert!(f.blocking_ops.iter().all(|(_, b)| b.line >= 2));
+    }
+
+    #[test]
+    fn protocol_regions_and_unmatched_begin() {
+        let f = file(
+            "// lint:protocol-begin(publish)\nfn p() {}\n// lint:protocol-end(publish)\n\
+             // lint:protocol-begin(probe)\nfn q() {}\n",
+        );
+        assert_eq!(
+            f.protocol_regions,
+            vec![("probe".into(), 4, u32::MAX), ("publish".into(), 1, 3)],
+            "unmatched begin must survive as an open region, not vanish"
+        );
     }
 
     #[test]

@@ -185,7 +185,14 @@ fn lex_string(src: &str, i: usize, line: u32) -> (Token, usize, u32) {
     let mut l = line;
     while j < b.len() {
         match b[j] {
-            b'\\' => j = (j + 2).min(b.len()),
+            // An escape consumes the next byte — which, for a `\` line
+            // continuation, is the newline itself and must still count.
+            b'\\' => {
+                if j + 1 < b.len() && b[j + 1] == b'\n' {
+                    l += 1;
+                }
+                j = (j + 2).min(b.len());
+            }
             b'\n' => {
                 l += 1;
                 j += 1;
@@ -357,6 +364,13 @@ mod tests {
         assert!(kinds("&'static str").contains(&(TokKind::Lifetime, "static".into())));
         assert!(kinds("'a>").contains(&(TokKind::Lifetime, "a".into())));
         assert!(kinds("b\"RQCS\"").contains(&(TokKind::Str, "RQCS".into())));
+    }
+
+    #[test]
+    fn string_line_continuations_count_lines() {
+        let l = lex("let a = \"x \\\n y\";\nlet b = 2;");
+        let b_tok = l.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b_tok.line, 3, "a `\\` continuation still crosses a line");
     }
 
     #[test]

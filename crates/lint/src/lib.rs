@@ -3,7 +3,7 @@
 //!
 //! A workspace invariant analyzer for the reqisc repo: a hand-rolled
 //! static-analysis pass (no external parser crates) that tokenizes every
-//! workspace `.rs` file, extracts per-file facts, and runs seven
+//! workspace `.rs` file, extracts per-file facts, and runs ten
 //! repo-specific cross-file rules:
 //!
 //! * **store-format** — the persistent-store codec surface (byte codecs,
@@ -25,11 +25,21 @@
 //!   spawns come from the `reqisc-sched` shim (so `--features
 //!   sched-model` can model-check them), never raw `std::sync` /
 //!   `std::thread::spawn`.
+//! * **unsafe-audit** — `unsafe` only in `unsafe-scope` crates, and
+//!   every production site carries an attached `// SAFETY:` comment.
+//! * **publish-protocol** — the shared-memory segment's lock-free
+//!   publish/probe ordering (Release commit store, CAS index handoff,
+//!   Acquire-before-read probes) inside `lint:protocol-begin/end`
+//!   marked regions.
+//! * **blocking-in-critical-section** — a held-locks dataflow over the
+//!   call graph denies file/socket I/O, cross-class condvar waits, and
+//!   solver entry points while a `non-blocking-lock` class is held.
 //!
 //! Diagnostics are deny-by-default and deterministic; suppress with
 //! `// lint:allow(rule, reason)` (covers that line and the next) or
 //! `// lint:allow-file(rule, reason)` at file granularity.
 
+pub mod callgraph;
 pub mod config;
 pub mod facts;
 pub mod lexer;
@@ -41,7 +51,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// Diagnostic severity. Everything the seven rules emit is [`Severity::Deny`];
+/// Diagnostic severity. Everything the ten rules emit is [`Severity::Deny`];
 /// `Warn` exists for forward-compat with `--deny-all` promotion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
@@ -368,6 +378,9 @@ pub fn run_scanned(ws: &Workspace, cfg: &Config) -> Result<LintOutcome, String> 
     rules::tolerances::check(ws, cfg, &mut diags);
     rules::envvars::check(ws, cfg, &mut diags);
     rules::sync_shim::check(ws, cfg, &mut diags);
+    rules::unsafe_audit::check(ws, cfg, &mut diags);
+    rules::protocol::check(ws, cfg, &mut diags);
+    rules::blocking::check(ws, cfg, &mut diags);
 
     // Apply suppressions.
     let before = diags.len();
@@ -387,19 +400,7 @@ pub fn run_scanned(ws: &Workspace, cfg: &Config) -> Result<LintOutcome, String> 
 
 fn is_suppressed(ws: &Workspace, d: &Diagnostic) -> bool {
     let Some(f) = ws.file(&d.file) else { return false };
-    if f.file_allows.iter().any(|(r, _)| r == d.rule) {
-        return true;
-    }
-    // A line allow covers its own line and the following one
-    // (comment-above style).
-    for probe in [d.line, d.line.saturating_sub(1)] {
-        if let Some(list) = f.allows.get(&probe) {
-            if list.iter().any(|(r, _)| r == d.rule) {
-                return true;
-            }
-        }
-    }
-    false
+    f.allows_rule_at(d.rule, d.line)
 }
 
 /// Recomputes the store-surface registry from the live workspace and

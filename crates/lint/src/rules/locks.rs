@@ -8,7 +8,8 @@
 //! (or an explicit `drop(guard)`); a temporary is held to the end of its
 //! statement, or through the block a `for`/`if let` header opens.
 //!
-//! Propagation: an approximate call graph. A call site resolves when its
+//! Propagation: the shared approximate call graph
+//! ([`crate::callgraph::CallGraph`]). A call site resolves when its
 //! callee name matches exactly one function definition in the workspace
 //! and is not on the `call-ignore` blocklist (std-collection method
 //! names); the callee's transitively-acquired lock classes are treated
@@ -19,10 +20,11 @@
 //! sharper message), and re-acquiring a held class (self-deadlock for
 //! the `Mutex`-backed classes).
 
+use crate::callgraph::{CallGraph, FnId};
 use crate::config::Config;
 use crate::facts::{LockEvent, SourceFile};
 use crate::{Diagnostic, Workspace};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Rule id.
 pub const RULE: &str = "lock-order";
@@ -33,25 +35,10 @@ pub fn check(ws: &Workspace, cfg: &Config, out: &mut Vec<Diagnostic>) {
         return;
     }
 
-    // Global function index: name → definitions.
-    let mut defs: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
-    for (fi, f) in ws.files.iter().enumerate() {
-        for (fj, func) in f.fns.iter().enumerate() {
-            defs.entry(func.name.as_str()).or_default().push((fi, fj));
-        }
-    }
-    let resolve = |name: &str| -> Option<(usize, usize)> {
-        if cfg.call_ignore.contains(name) {
-            return None;
-        }
-        match defs.get(name).map(Vec::as_slice) {
-            Some([one]) => Some(*one),
-            _ => None,
-        }
-    };
+    let cg = CallGraph::build(ws);
 
     // Classed lock events per function.
-    let mut fn_locks: BTreeMap<(usize, usize), Vec<(String, LockEvent)>> = BTreeMap::new();
+    let mut fn_locks: BTreeMap<FnId, Vec<(String, LockEvent)>> = BTreeMap::new();
     for (fi, f) in ws.files.iter().enumerate() {
         for (fj, ev) in &f.locks {
             if let Some(class) = cfg.lock_class_of(&ev.receiver) {
@@ -61,26 +48,11 @@ pub fn check(ws: &Workspace, cfg: &Config, out: &mut Vec<Diagnostic>) {
     }
 
     // Transitive acquires per function (fixpoint over the call graph).
-    let mut acquires: BTreeMap<(usize, usize), BTreeSet<String>> = BTreeMap::new();
+    let mut seeds: BTreeMap<FnId, BTreeSet<String>> = BTreeMap::new();
     for (k, evs) in &fn_locks {
-        acquires.insert(*k, evs.iter().map(|(c, _)| c.clone()).collect());
+        seeds.insert(*k, evs.iter().map(|(c, _)| c.clone()).collect());
     }
-    loop {
-        let mut changed = false;
-        for (fi, f) in ws.files.iter().enumerate() {
-            for (fj, call) in &f.calls {
-                let Some(callee) = resolve(&call.name) else { continue };
-                let Some(inner) = acquires.get(&callee).cloned() else { continue };
-                let entry = acquires.entry((fi, *fj)).or_default();
-                for c in inner {
-                    changed |= entry.insert(c);
-                }
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
+    let acquires = cg.propagate(ws, cfg, seeds);
 
     // Check each lock event's hold window.
     for (fi, f) in ws.files.iter().enumerate() {
@@ -99,7 +71,7 @@ pub fn check(ws: &Workspace, cfg: &Config, out: &mut Vec<Diagnostic>) {
                     if cj != &fj || call.pos <= outer.pos || call.pos >= outer.held_until {
                         continue;
                     }
-                    let Some(callee) = resolve(&call.name) else { continue };
+                    let Some(callee) = cg.resolve_unique(cfg, &call.name) else { continue };
                     let Some(inner_set) = acquires.get(&callee) else { continue };
                     for inner_class in inner_set {
                         report_pair(

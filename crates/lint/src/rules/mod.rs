@@ -1,11 +1,14 @@
-//! The seven repo-specific rules. Each module exposes
+//! The ten repo-specific rules. Each module exposes
 //! `check(ws, cfg, out)` appending [`crate::Diagnostic`]s; suppression
 //! and sorting happen centrally in [`crate::run_scanned`].
 
 pub mod atomics;
+pub mod blocking;
 pub mod envvars;
 pub mod locks;
 pub mod panics;
+pub mod protocol;
 pub mod store_format;
 pub mod sync_shim;
 pub mod tolerances;
+pub mod unsafe_audit;

@@ -8,16 +8,18 @@
 //!
 //! Scope: files under the config's `panic-scope` directories. Entries:
 //! the `panic-entry` function names (accept loops, request handlers,
-//! worker loops). Reachability: name-based closure over calls resolving
-//! to functions *defined inside the scope* — std/collection method names
-//! don't resolve and thus don't leak the closure out of the subsystem.
-//! `expect` only counts with a string-literal argument (the JSON
-//! parser's byte-arg `expect(b'{')` method is not a panic).
+//! worker loops). Reachability: the shared call graph
+//! ([`crate::callgraph::CallGraph`]) built over only the in-scope files,
+//! closed conservatively (every definition of a called name) — std/
+//! collection method names don't resolve and thus don't leak the closure
+//! out of the subsystem. `expect` only counts with a string-literal
+//! argument (the JSON parser's byte-arg `expect(b'{')` method is not a
+//! panic).
 
+use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::facts::PanicKind;
 use crate::{Diagnostic, Workspace};
-use std::collections::{HashMap, HashSet};
 
 /// Rule id.
 pub const RULE: &str = "panic-path";
@@ -28,46 +30,11 @@ pub fn check(ws: &Workspace, cfg: &Config, out: &mut Vec<Diagnostic>) {
         return;
     }
 
-    // Functions defined in scope, by name (all definitions — the closure
-    // is conservative: an ambiguous name reaches every definition).
-    let mut defs: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
-    let mut in_scope: Vec<usize> = Vec::new();
-    for (fi, f) in ws.files.iter().enumerate() {
-        if !cfg.in_panic_scope(&f.rel) {
-            continue;
-        }
-        in_scope.push(fi);
-        for (fj, func) in f.fns.iter().enumerate() {
-            defs.entry(func.name.as_str()).or_default().push((fi, fj));
-        }
-    }
-
-    // Closure from the entries.
-    let mut reachable: HashSet<(usize, usize)> = HashSet::new();
-    let mut stack: Vec<(usize, usize)> = Vec::new();
-    for &fi in &in_scope {
-        for (fj, func) in ws.files[fi].fns.iter().enumerate() {
-            if cfg.panic_entries.contains(&func.name) {
-                stack.push((fi, fj));
-            }
-        }
-    }
-    while let Some(node) = stack.pop() {
-        if !reachable.insert(node) {
-            continue;
-        }
-        let (fi, fj) = node;
-        for (cj, call) in &ws.files[fi].calls {
-            if *cj != fj {
-                continue;
-            }
-            if let Some(targets) = defs.get(call.name.as_str()) {
-                for &t in targets {
-                    stack.push(t);
-                }
-            }
-        }
-    }
+    let in_scope: Vec<usize> = (0..ws.files.len())
+        .filter(|&fi| cfg.in_panic_scope(&ws.files[fi].rel))
+        .collect();
+    let cg = CallGraph::build_filtered(ws, |fi| cfg.in_panic_scope(&ws.files[fi].rel));
+    let reachable = cg.reachable_from(ws, &cfg.panic_entries);
 
     for &fi in &in_scope {
         let f = &ws.files[fi];

@@ -1,0 +1,277 @@
+//! **publish-protocol**: the shared-memory segment's lock-free
+//! publish/probe ordering discipline, machine-checked.
+//!
+//! The segment publishes an entry by writing payload bytes with plain
+//! stores, then storing the commit word with `Release`, then handing the
+//! offset to probers through an index CAS; probers `Acquire` the commit
+//! word before reading any entry byte. Delete the Release, reorder the
+//! CAS before the commit, or slip a plain write in after the commit, and
+//! the protocol is silently broken for exactly the interleavings the
+//! sched-model tests don't enumerate. This rule pins the discipline to
+//! `lint:protocol-begin(publish|probe)` / `lint:protocol-end(…)` marked
+//! regions:
+//!
+//! * **publish** — at least one `Release` store (the first one is *the*
+//!   commit store); no plain mapping write (`protocol-plain-write`
+//!   names) and no sub-Release store after the commit store; at least
+//!   one `compare_exchange[_weak]`, the last of which must come after
+//!   the commit store with success ordering ≥ `Release`.
+//! * **probe** — every atomic load is `Acquire` (justified `Relaxed`
+//!   metadata loads take a `lint:allow`); at least one Acquire load
+//!   exists; no plain mapping read (`protocol-plain-read` names) before
+//!   the first Acquire load; no plain mapping write at all.
+//!
+//! Files declared `protocol-file` must carry at least one region of each
+//! kind — deleting the markers is itself a violation, so the rule cannot
+//! be disabled by accident. Unclosed `begin` markers are denied too.
+
+use crate::config::Config;
+use crate::facts::SourceFile;
+use crate::{Diagnostic, Workspace};
+
+/// Rule id.
+pub const RULE: &str = "publish-protocol";
+
+/// One ordered event inside a region.
+enum Ev<'a> {
+    /// `.store(…, Ordering::X)` — ordering, line.
+    Store(&'a str, u32),
+    /// `.load(Ordering::X)` — ordering, line.
+    Load(&'a str, u32),
+    /// `compare_exchange[_weak]` — success ordering, line.
+    Cas(&'a str, u32),
+    /// A `protocol-plain-write` call — name, line.
+    PlainWrite(&'a str, u32),
+    /// A `protocol-plain-read` call — name, line.
+    PlainRead(&'a str, u32),
+}
+
+/// Runs the rule.
+pub fn check(ws: &Workspace, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    for path in &cfg.protocol_files {
+        let Some(f) = ws.file(path) else {
+            out.push(Diagnostic::deny(
+                RULE,
+                path,
+                1,
+                "declared `protocol-file` is not in the scan".into(),
+            ));
+            continue;
+        };
+        for kind in ["publish", "probe"] {
+            if !f.protocol_regions.iter().any(|(k, _, _)| k == kind) {
+                out.push(Diagnostic::deny(
+                    RULE,
+                    path,
+                    1,
+                    format!(
+                        "declared `protocol-file` has no `lint:protocol-begin({kind})` region; \
+                         without the markers the publish-protocol rule silently checks nothing — \
+                         restore them around the {kind} path"
+                    ),
+                ));
+            }
+        }
+    }
+
+    for f in &ws.files {
+        for (kind, a, b) in &f.protocol_regions {
+            if *b == u32::MAX {
+                out.push(Diagnostic::deny(
+                    RULE,
+                    &f.rel,
+                    *a,
+                    format!(
+                        "`lint:protocol-begin({kind})` is never closed by a \
+                         `lint:protocol-end({kind})` marker"
+                    ),
+                ));
+                continue;
+            }
+            match kind.as_str() {
+                "publish" => check_publish(f, cfg, *a, *b, out),
+                "probe" => check_probe(f, cfg, *a, *b, out),
+                other => out.push(Diagnostic::deny(
+                    RULE,
+                    &f.rel,
+                    *a,
+                    format!("unknown protocol region kind `{other}` (expected publish or probe)"),
+                )),
+            }
+        }
+    }
+}
+
+/// Region events in token order.
+fn events<'a>(f: &'a SourceFile, cfg: &'a Config, a: u32, b: u32) -> Vec<(usize, Ev<'a>)> {
+    let mut evs: Vec<(usize, Ev<'a>)> = Vec::new();
+    for s in &f.atomics {
+        if s.line < a || s.line > b {
+            continue;
+        }
+        let ord = s.orderings.first().map(String::as_str).unwrap_or("");
+        match s.method.as_str() {
+            "store" => evs.push((s.pos, Ev::Store(ord, s.line))),
+            "load" => evs.push((s.pos, Ev::Load(ord, s.line))),
+            "compare_exchange" | "compare_exchange_weak" => {
+                evs.push((s.pos, Ev::Cas(ord, s.line)))
+            }
+            _ => {}
+        }
+    }
+    for (_, c) in &f.calls {
+        if c.line < a || c.line > b {
+            continue;
+        }
+        if cfg.protocol_plain_writes.contains(&c.name) {
+            evs.push((c.pos, Ev::PlainWrite(&c.name, c.line)));
+        } else if cfg.protocol_plain_reads.contains(&c.name) {
+            evs.push((c.pos, Ev::PlainRead(&c.name, c.line)));
+        }
+    }
+    evs.sort_by_key(|(pos, _)| *pos);
+    evs
+}
+
+fn is_release(ord: &str) -> bool {
+    matches!(ord, "Release" | "AcqRel" | "SeqCst")
+}
+
+fn is_acquire(ord: &str) -> bool {
+    matches!(ord, "Acquire" | "AcqRel" | "SeqCst")
+}
+
+fn check_publish(f: &SourceFile, cfg: &Config, a: u32, b: u32, out: &mut Vec<Diagnostic>) {
+    let evs = events(f, cfg, a, b);
+    // The commit store is the first Release store in the region.
+    let commit = evs.iter().position(|(_, e)| matches!(e, Ev::Store(ord, _) if is_release(ord)));
+    let Some(commit) = commit else {
+        out.push(Diagnostic::deny(
+            RULE,
+            &f.rel,
+            a,
+            format!(
+                "publish region (lines {a}-{b}) has no Release commit-word store: without the \
+                 Release fence the plain payload writes are not ordered before the commit word \
+                 and probers can read torn entries"
+            ),
+        ));
+        return;
+    };
+
+    for (_, e) in &evs[commit + 1..] {
+        match e {
+            Ev::PlainWrite(name, line) => out.push(Diagnostic::deny(
+                RULE,
+                &f.rel,
+                *line,
+                format!(
+                    "plain mapping write `{name}` after the Release commit store: bytes written \
+                     here race with probers that already Acquired the commit word — move it \
+                     before the commit"
+                ),
+            )),
+            Ev::Store(ord, line) if !is_release(ord) => out.push(Diagnostic::deny(
+                RULE,
+                &f.rel,
+                *line,
+                format!(
+                    "`store(…, Ordering::{ord})` after the Release commit store: every mapping \
+                     store past the commit must itself be Release (probers may already see the \
+                     entry)"
+                ),
+            )),
+            _ => {}
+        }
+    }
+
+    let last_cas = evs.iter().rposition(|(_, e)| matches!(e, Ev::Cas(_, _)));
+    match last_cas {
+        None => out.push(Diagnostic::deny(
+            RULE,
+            &f.rel,
+            a,
+            format!(
+                "publish region (lines {a}-{b}) has no index-handoff CAS \
+                 (compare_exchange[_weak]): the slot must be claimed atomically or two \
+                 publishers can hand out the same index entry"
+            ),
+        )),
+        Some(ci) => {
+            let Ev::Cas(success, line) = evs[ci].1 else { unreachable!() };
+            if ci < commit {
+                out.push(Diagnostic::deny(
+                    RULE,
+                    &f.rel,
+                    line,
+                    "the index-handoff CAS precedes the Release commit-word store: a prober \
+                     that wins the race through the index reads an uncommitted entry"
+                        .into(),
+                ));
+            }
+            if !is_release(success) {
+                out.push(Diagnostic::deny(
+                    RULE,
+                    &f.rel,
+                    line,
+                    format!(
+                        "index-handoff CAS success ordering `{success}` is weaker than Release: \
+                         the slot publication must carry at least Release so the committed entry \
+                         is visible to probers that Acquire the slot"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_probe(f: &SourceFile, cfg: &Config, a: u32, b: u32, out: &mut Vec<Diagnostic>) {
+    let evs = events(f, cfg, a, b);
+    let first_acq = evs.iter().position(|(_, e)| matches!(e, Ev::Load(ord, _) if is_acquire(ord)));
+    if first_acq.is_none() {
+        out.push(Diagnostic::deny(
+            RULE,
+            &f.rel,
+            a,
+            format!(
+                "probe region (lines {a}-{b}) never performs an Acquire load: the commit word \
+                 must be Acquired before any entry byte is trusted"
+            ),
+        ));
+    }
+    for (i, (_, e)) in evs.iter().enumerate() {
+        match e {
+            Ev::Load(ord, line) if !is_acquire(ord) => out.push(Diagnostic::deny(
+                RULE,
+                &f.rel,
+                *line,
+                format!(
+                    "probe-side `load(Ordering::{ord})`: probes must Acquire the commit word / \
+                     index slot, or the entry bytes they read afterwards are unordered \
+                     (justify intentionally-Relaxed metadata loads with a lint:allow)"
+                ),
+            )),
+            Ev::PlainRead(name, line) if first_acq.map(|fa| i < fa).unwrap_or(true) => {
+                out.push(Diagnostic::deny(
+                    RULE,
+                    &f.rel,
+                    *line,
+                    format!(
+                        "entry bytes read (`{name}`) before any Acquire load in this probe \
+                         region: the commit word must be Acquired first"
+                    ),
+                ))
+            }
+            Ev::PlainWrite(name, line) => out.push(Diagnostic::deny(
+                RULE,
+                &f.rel,
+                *line,
+                format!(
+                    "plain mapping write `{name}` inside a probe region: probers never mutate \
+                     entry bytes (stamp maintenance goes through Relaxed atomic stores)"
+                ),
+            )),
+            _ => {}
+        }
+    }
+}

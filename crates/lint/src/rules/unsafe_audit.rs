@@ -1,0 +1,80 @@
+//! **unsafe-audit**: `unsafe` is quarantined and justified.
+//!
+//! Two checks, both driven by the `unsafe-scope` directives:
+//!
+//! * **Scope** — an `unsafe` block/impl/fn anywhere outside a declared
+//!   `unsafe-scope` directory prefix is denied, in every file kind.
+//!   Today only `crates/shmem` (the mmap segment) is in scope; unsafe
+//!   cannot silently creep into the service or compiler crates.
+//! * **Justification** — inside the scope, every production (`src/`,
+//!   non-`#[cfg(test)]`) `unsafe` site needs an *attached* `// SAFETY:`
+//!   comment: the nearest `SAFETY:` comment at or above the site, with
+//!   no code tokens between it and the site (or at most two lines away,
+//!   for multi-line statements whose `unsafe` sits below the statement
+//!   head).
+//!
+//! The rule is inactive when no `unsafe-scope` is declared, so fixture
+//! workspaces and the mutation tests opt in explicitly.
+
+use crate::config::Config;
+use crate::facts::{FileKind, SourceFile, UnsafeKind};
+use crate::{Diagnostic, Workspace};
+
+/// Rule id.
+pub const RULE: &str = "unsafe-audit";
+
+/// Runs the rule.
+pub fn check(ws: &Workspace, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if cfg.unsafe_scopes.is_empty() {
+        return;
+    }
+    for f in &ws.files {
+        let scoped = cfg.in_unsafe_scope(&f.rel);
+        for site in &f.unsafes {
+            let what = match site.kind {
+                UnsafeKind::Block => "`unsafe` block",
+                UnsafeKind::Impl => "`unsafe impl`",
+                UnsafeKind::Fn => "`unsafe fn`",
+                UnsafeKind::Extern => "`unsafe extern`",
+                UnsafeKind::Other => "`unsafe`",
+            };
+            if !scoped {
+                out.push(Diagnostic::deny(
+                    RULE,
+                    &f.rel,
+                    site.line,
+                    format!(
+                        "{what} outside every declared `unsafe-scope` (crates/lint/lint.conf): \
+                         keep unsafe code quarantined in the scoped crates, or extend the scope \
+                         deliberately in the same change that reviews the new crate's invariants"
+                    ),
+                ));
+                continue;
+            }
+            if f.kind != FileKind::Src || f.is_test_line(site.line) {
+                continue;
+            }
+            if !safety_attached(f, site.line) {
+                out.push(Diagnostic::deny(
+                    RULE,
+                    &f.rel,
+                    site.line,
+                    format!(
+                        "{what} without an attached `// SAFETY:` comment: state the invariant \
+                         that makes this sound (what guarantees the pointer/length/lifetime) \
+                         directly above the site"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// True when the nearest `SAFETY:` comment at or above `line` is attached
+/// to it: no code tokens strictly between, or at most two lines away.
+fn safety_attached(f: &SourceFile, line: u32) -> bool {
+    let Some(&s) = f.safety_lines.iter().filter(|&&s| s <= line).max() else {
+        return false;
+    };
+    line - s <= 2 || !f.tokens.iter().any(|t| t.line > s && t.line < line)
+}

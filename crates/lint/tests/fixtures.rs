@@ -146,6 +146,99 @@ fn sync_shim_fixture() {
     assert_eq!(o.suppressed, 1, "the allow'd raw mutex in pass.rs must count as suppressed");
 }
 
+#[test]
+fn unsafe_audit_fixture() {
+    let o = run_fixture("unsafe_audit");
+    assert_eq!(
+        triples(&o),
+        vec![
+            ("unsafe-audit".into(), "src/outside.rs".into(), 3),
+            ("unsafe-audit".into(), "src/scoped/fail.rs".into(), 2),
+            ("unsafe-audit".into(), "src/scoped/fail.rs".into(), 8),
+        ],
+        "diagnostics were:\n{}",
+        rendered(&o)
+    );
+    assert!(
+        o.diagnostics[0].message.contains("outside every declared"),
+        "{}",
+        o.diagnostics[0].message
+    );
+    assert!(o.diagnostics[1].message.contains("SAFETY"), "{}", o.diagnostics[1].message);
+}
+
+#[test]
+fn publish_protocol_fixture() {
+    let o = run_fixture("protocol");
+    assert_eq!(
+        triples(&o),
+        vec![
+            ("publish-protocol".into(), "src/bad.rs".into(), 6),
+            ("publish-protocol".into(), "src/bad.rs".into(), 6),
+            ("publish-protocol".into(), "src/bad.rs".into(), 8),
+            ("publish-protocol".into(), "src/bad.rs".into(), 9),
+            ("publish-protocol".into(), "src/bad.rs".into(), 13),
+            ("publish-protocol".into(), "src/bad.rs".into(), 15),
+            ("publish-protocol".into(), "src/bad.rs".into(), 16),
+            ("publish-protocol".into(), "src/bad.rs".into(), 19),
+            ("publish-protocol".into(), "src/none.rs".into(), 1),
+            ("publish-protocol".into(), "src/none.rs".into(), 1),
+            ("publish-protocol".into(), "src/unclosed.rs".into(), 1),
+            ("publish-protocol".into(), "src/unclosed.rs".into(), 4),
+        ],
+        "diagnostics were:\n{}",
+        rendered(&o)
+    );
+    let msgs = rendered(&o);
+    for needle in [
+        "precedes the Release commit-word store",
+        "weaker than Release",
+        "plain mapping write `write_bytes_in` after the Release commit store",
+        "`store(…, Ordering::Relaxed)` after the Release commit store",
+        "never performs an Acquire load",
+        "before any Acquire load",
+        "probe-side `load(Ordering::Relaxed)`",
+        "silently checks nothing",
+        "never closed",
+        "unknown protocol region kind `gc`",
+    ] {
+        assert!(msgs.contains(needle), "missing `{needle}` in:\n{msgs}");
+    }
+}
+
+#[test]
+fn blocking_fixture() {
+    let o = run_fixture("blocking");
+    assert_eq!(
+        triples(&o),
+        vec![
+            ("blocking-in-critical-section".into(), "src/fail.rs".into(), 10),
+            ("blocking-in-critical-section".into(), "src/fail.rs".into(), 15),
+            ("blocking-in-critical-section".into(), "src/fail.rs".into(), 20),
+            ("blocking-in-critical-section".into(), "src/fail.rs".into(), 25),
+        ],
+        "diagnostics were:\n{}",
+        rendered(&o)
+    );
+    assert!(o.diagnostics[0].message.contains("std::fs"), "{}", o.diagnostics[0].message);
+    // The helper's I/O is reported at the call site with its origin.
+    assert!(
+        o.diagnostics[1].message.contains("src/fail.rs:5"),
+        "{}",
+        o.diagnostics[1].message
+    );
+    assert!(
+        o.diagnostics[2].message.contains("parks the thread"),
+        "{}",
+        o.diagnostics[2].message
+    );
+    assert!(
+        o.diagnostics[3].message.contains("blocking entry"),
+        "{}",
+        o.diagnostics[3].message
+    );
+}
+
 fn copy_dir(from: &Path, to: &Path) {
     std::fs::create_dir_all(to).unwrap();
     for entry in std::fs::read_dir(from).unwrap() {
@@ -224,6 +317,56 @@ fn store_format_bump_demo() {
         rendered(&o)
     );
     assert!(o.diagnostics[0].message.contains("collide"), "{}", o.diagnostics[0].message);
+
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+/// Mutation test on the *real* shared-memory segment: copy
+/// `crates/shmem/src` into a temp mini-workspace, confirm it is clean,
+/// then strip the `Release` from the commit-word store. The
+/// publish-protocol rule must catch the stripped fence — the index CAS
+/// now precedes the first (and only remaining) Release store.
+#[test]
+fn shmem_release_strip_is_caught() {
+    let tmp = std::env::temp_dir().join(format!("reqisc-lint-shmem-mut-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let shmem_src = Path::new(env!("CARGO_MANIFEST_DIR")).join("../shmem/src");
+    copy_dir(&shmem_src, &tmp.join("src"));
+    std::fs::write(
+        tmp.join("lint.conf"),
+        "unsafe-scope src\n\
+         protocol-file src/lib.rs\n\
+         protocol-plain-write write_bytes_in\n\
+         protocol-plain-read copy_out read_bytes_in\n",
+    )
+    .unwrap();
+    let cfg = Config::load(&tmp.join("lint.conf")).unwrap();
+
+    let o = run(&tmp, &cfg).unwrap();
+    assert!(
+        o.diagnostics.is_empty(),
+        "the unmodified segment must be clean:\n{}",
+        rendered(&o)
+    );
+
+    patch(
+        &tmp.join("src/lib.rs"),
+        ".store(COMMIT_TAG | payload.len() as u64, Ordering::Release)",
+        ".store(COMMIT_TAG | payload.len() as u64, Ordering::Relaxed)",
+    );
+    let o = run(&tmp, &cfg).unwrap();
+    let protocol: Vec<_> =
+        o.diagnostics.iter().filter(|d| d.rule == "publish-protocol").collect();
+    assert!(
+        !protocol.is_empty(),
+        "stripping the commit-store Release must trip publish-protocol; got:\n{}",
+        rendered(&o)
+    );
+    assert!(
+        protocol.iter().any(|d| d.message.contains("precedes the Release commit-word store")),
+        "diagnostics were:\n{}",
+        rendered(&o)
+    );
 
     let _ = std::fs::remove_dir_all(&tmp);
 }

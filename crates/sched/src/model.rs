@@ -391,6 +391,7 @@ impl Execution {
             }
             st = self
                 .cv
+                // lint:allow(blocking-in-critical-section, the model scheduler parks threads by design — every shim op routes here under sched-model, and production builds delegate to std primitives)
                 .wait(st)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }

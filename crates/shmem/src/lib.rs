@@ -386,11 +386,13 @@ impl Segment {
         Self::write_bytes_in(map, OFF_CAPACITY, &capacity.to_le_bytes());
         Self::write_bytes_in(map, OFF_SLOTS, &slots.to_le_bytes());
         Self::write_bytes_in(map, OFF_LOG_START, &log_start.to_le_bytes());
-        // SAFETY: header offsets of a mapped file, 8-aligned.
+        // SAFETY: OFF_RESERVE is an 8-aligned header offset of a mapped file.
         let reserve = unsafe { &*(map.base().add(OFF_RESERVE as usize) as *const AtomicU64) };
         reserve.store(log_start, Ordering::Relaxed);
+        // SAFETY: OFF_GENERATION is an 8-aligned header offset, as above.
         let gen = unsafe { &*(map.base().add(OFF_GENERATION as usize) as *const AtomicU64) };
         gen.store(1, Ordering::Relaxed);
+        // SAFETY: OFF_INIT is an 8-aligned header offset, as above.
         let init = unsafe { &*(map.base().add(OFF_INIT as usize) as *const AtomicU64) };
         // Release: publishes every plain header write above to any
         // shared attacher whose validation Acquire-loads the marker.
@@ -487,6 +489,11 @@ impl Segment {
         None
     }
 
+    // lint:protocol-begin(probe)
+    // The lock-free read side: Acquire the index slot and the record's
+    // commit word before trusting any entry byte; validate by checksum;
+    // never write entry bytes (the generation stamp is Relaxed atomic
+    // maintenance). Checked by the publish-protocol lint rule.
     fn probe_once(&self, pool: u8, key: &[u8], stamp: bool) -> ProbeStep {
         let gen_before = self.atomic(OFF_GENERATION).load(Ordering::Acquire);
         let h = key_hash(pool, key);
@@ -548,6 +555,7 @@ impl Segment {
         if !r.is_exhausted() {
             return None;
         }
+        // lint:allow(publish-protocol, the stamp is GC metadata and never gates entry-byte reads; the commit word above was Acquired)
         let stamp = self.atomic(off + 24).load(Ordering::Relaxed);
         Some(RecordView {
             pool,
@@ -557,6 +565,7 @@ impl Segment {
             end: off + align_rec(REC_HEADER_LEN + len),
         })
     }
+    // lint:protocol-end(probe)
 
     /// Publishes `key → val` into `pool`, stamped with the current
     /// generation. First writer wins; see [`PublishOutcome`].
@@ -565,6 +574,13 @@ impl Segment {
         self.publish_with_stamp(pool, key, val, stamp)
     }
 
+    // lint:protocol-begin(publish)
+    // The lock-free write side: plain payload/checksum/hash writes into
+    // an exclusively reserved log region, then the Release commit-word
+    // store, then the index-handoff CAS (AcqRel success) — in that
+    // order. Checked by the publish-protocol lint rule: the commit store
+    // is the region's first Release store, nothing plain may follow it,
+    // and the last CAS must come after it with >= Release success.
     /// [`Segment::publish`] with an explicit generation stamp — used
     /// when seeding from a store file or compacting, so the
     /// file-format-v2 last-referenced stamps carry over.
@@ -667,6 +683,7 @@ impl Segment {
         self.stats.full_rejects.fetch_add(1, Ordering::Relaxed);
         PublishOutcome::SegmentFull
     }
+    // lint:protocol-end(publish)
 
     /// Visits every committed, indexed entry:
     /// `f(pool, key, val, generation_stamp)`.
